@@ -1,0 +1,77 @@
+// Ablation (beyond the paper's tables): ensemble design choices.
+//   A) ensemble size — accuracy/AUC of AdaBoost and Bagging over J48 @2HPC
+//      as the member count grows (the paper fixes 10, WEKA's default);
+//   B) BayesNet structure — naive vs TAN (tree-augmented) at 4 HPCs;
+//   C) AdaBoost reweighting vs resampling (WEKA -Q) for REPTree @2HPC.
+#include <iostream>
+
+#include "bench_util.h"
+#include "ml/adaboost.h"
+#include "ml/bagging.h"
+#include "ml/bayesnet.h"
+#include "ml/metrics.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hmd;
+  const auto cfg = benchutil::config_from_args(argc, argv);
+  const auto ctx = benchutil::prepare(cfg, "ablation_ensemble");
+
+  const auto features2 = ctx.top_features(2);
+  const ml::Dataset train2 = ctx.split.train.select_features(features2);
+  const ml::Dataset test2 = ctx.split.test.select_features(features2);
+
+  TextTable size_table("Ablation A — ensemble size (J48 @2HPC)");
+  size_table.set_header({"Members", "AdaBoost acc%", "AdaBoost AUC",
+                         "Bagging acc%", "Bagging AUC"});
+  for (std::size_t members : {1u, 2u, 5u, 10u, 20u, 40u}) {
+    ml::AdaBoostM1 boost(ml::make_classifier(ml::ClassifierKind::kJ48),
+                         members, /*seed=*/7);
+    boost.train(train2);
+    const auto bm = ml::evaluate_detector(boost, test2);
+
+    ml::Bagging bag(ml::make_classifier(ml::ClassifierKind::kJ48), members,
+                    /*seed=*/7);
+    bag.train(train2);
+    const auto gm = ml::evaluate_detector(bag, test2);
+
+    size_table.add_row({std::to_string(members), benchutil::pct(bm.accuracy),
+                        TextTable::num(bm.auc, 3),
+                        benchutil::pct(gm.accuracy),
+                        TextTable::num(gm.auc, 3)});
+    std::fprintf(stderr, "[ablation_ensemble] %zu members done\n", members);
+  }
+  size_table.print(std::cout);
+
+  const auto features4 = ctx.top_features(4);
+  const ml::Dataset train4 = ctx.split.train.select_features(features4);
+  const ml::Dataset test4 = ctx.split.test.select_features(features4);
+
+  TextTable bn_table("\nAblation B — BayesNet structure (@4HPC)");
+  bn_table.set_header({"Structure", "Accuracy%", "AUC"});
+  for (const auto structure :
+       {ml::BayesNet::Structure::kNaive, ml::BayesNet::Structure::kTan}) {
+    ml::BayesNet bn(structure);
+    bn.train(train4);
+    const auto m = ml::evaluate_detector(bn, test4);
+    bn_table.add_row(
+        {structure == ml::BayesNet::Structure::kNaive ? "naive" : "TAN",
+         benchutil::pct(m.accuracy), TextTable::num(m.auc, 3)});
+  }
+  bn_table.print(std::cout);
+
+  TextTable rs_table(
+      "\nAblation C — AdaBoost reweighting vs resampling (REPTree @2HPC)");
+  rs_table.set_header({"Mode", "Accuracy%", "AUC", "Members trained"});
+  for (const bool resample : {false, true}) {
+    ml::AdaBoostM1 boost(ml::make_classifier(ml::ClassifierKind::kRepTree),
+                         /*iterations=*/10, /*seed=*/7, resample);
+    boost.train(train2);
+    const auto m = ml::evaluate_detector(boost, test2);
+    rs_table.add_row({resample ? "resampling (-Q)" : "reweighting",
+                      benchutil::pct(m.accuracy), TextTable::num(m.auc, 3),
+                      std::to_string(boost.num_members())});
+  }
+  rs_table.print(std::cout);
+  return 0;
+}

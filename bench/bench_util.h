@@ -1,0 +1,71 @@
+// Shared plumbing for the reproduction harnesses (one binary per paper
+// table/figure). Every binary accepts:
+//   --quick   run on a reduced corpus (fast smoke mode, shapes only)
+//   --seed N  override the corpus seed
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/hmd.h"
+#include "support/table.h"
+
+namespace hmd::benchutil {
+
+/// Paper-scale configuration: 32 behaviour templates instantiated into a
+/// 142-application corpus, 20 intervals per app, 4-counter PMU, multi-run
+/// batched capture.
+inline core::ExperimentConfig standard_config() {
+  core::ExperimentConfig cfg;
+  return cfg;  // defaults are the paper-scale settings
+}
+
+/// Reduced configuration for smoke runs (--quick).
+inline core::ExperimentConfig quick_config() {
+  core::ExperimentConfig cfg;
+  cfg.corpus.benign_per_template = 2;
+  cfg.corpus.malware_per_template = 2;
+  cfg.corpus.intervals_per_app = 10;
+  return cfg;
+}
+
+inline core::ExperimentConfig config_from_args(int argc, char** argv) {
+  core::ExperimentConfig cfg = standard_config();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) cfg = quick_config();
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      cfg.corpus.seed = std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return cfg;
+}
+
+/// Capture the corpus with progress reporting on stderr.
+inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
+                                       const char* what) {
+  std::fprintf(stderr,
+               "[%s] capturing corpus (%u benign + %u malware variants per "
+               "template, %u intervals, multi-run 4-counter PMU)...\n",
+               what, cfg.corpus.benign_per_template,
+               cfg.corpus.malware_per_template, cfg.corpus.intervals_per_app);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto ctx = core::prepare_experiment(cfg);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::fprintf(stderr,
+               "[%s] capture done: %zu samples (%zu train / %zu test), %llu "
+               "container runs, %lld ms\n",
+               what, ctx.full.num_rows(), ctx.split.train.num_rows(),
+               ctx.split.test.num_rows(),
+               static_cast<unsigned long long>(ctx.capture.total_runs),
+               static_cast<long long>(ms));
+  return ctx;
+}
+
+inline std::string pct(double v, int precision = 1) {
+  return TextTable::num(100.0 * v, precision);
+}
+
+}  // namespace hmd::benchutil

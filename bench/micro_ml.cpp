@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks: training and single-sample inference
+// throughput of every classifier family, on a captured 4-HPC dataset.
+//
+// Inference latency here is the *software* baseline the paper contrasts
+// with hardware implementation ("software implementation ... is slow in the
+// range of tens of milliseconds"); compare with bench/table3_hardware.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/hmd.h"
+
+namespace {
+
+using namespace hmd;
+
+/// One small shared capture for all registered benchmarks.
+const core::ExperimentContext& context() {
+  static const core::ExperimentContext ctx = [] {
+    core::ExperimentConfig cfg;
+    cfg.corpus.benign_per_template = 1;
+    cfg.corpus.malware_per_template = 1;
+    cfg.corpus.intervals_per_app = 10;
+    return core::prepare_experiment(cfg);
+  }();
+  return ctx;
+}
+
+const ml::Dataset& train4() {
+  static const ml::Dataset data =
+      context().split.train.select_features(context().top_features(4));
+  return data;
+}
+
+void bm_train(benchmark::State& state, ml::ClassifierKind kind,
+              ml::EnsembleKind ens) {
+  const ml::Dataset& data = train4();
+  for (auto _ : state) {
+    auto clf = ml::make_detector(kind, ens, 7);
+    clf->train(data);
+    benchmark::DoNotOptimize(clf);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.num_rows()));
+}
+
+void bm_predict(benchmark::State& state, ml::ClassifierKind kind,
+                ml::EnsembleKind ens) {
+  const ml::Dataset& data = train4();
+  auto clf = ml::make_detector(kind, ens, 7);
+  clf->train(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf->predict_proba(data.row(i)));
+    i = (i + 1) % data.num_rows();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_capture_interval(benchmark::State& state) {
+  const auto app = sim::make_benign(0, 0, 2018, /*intervals=*/1u << 30);
+  sim::Machine machine;
+  machine.start_run(app, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.next_interval());
+  }
+}
+
+#define HMD_REGISTER(kind, label)                                          \
+  BENCHMARK_CAPTURE(bm_train, label##_general, ml::ClassifierKind::kind,   \
+                    ml::EnsembleKind::kGeneral)                            \
+      ->Unit(benchmark::kMillisecond);                                     \
+  BENCHMARK_CAPTURE(bm_train, label##_boosted, ml::ClassifierKind::kind,   \
+                    ml::EnsembleKind::kAdaBoost)                           \
+      ->Unit(benchmark::kMillisecond);                                     \
+  BENCHMARK_CAPTURE(bm_predict, label##_general, ml::ClassifierKind::kind, \
+                    ml::EnsembleKind::kGeneral);                           \
+  BENCHMARK_CAPTURE(bm_predict, label##_boosted, ml::ClassifierKind::kind, \
+                    ml::EnsembleKind::kAdaBoost);
+
+HMD_REGISTER(kOneR, oner)
+HMD_REGISTER(kBayesNet, bayesnet)
+HMD_REGISTER(kJ48, j48)
+HMD_REGISTER(kRepTree, reptree)
+HMD_REGISTER(kJRip, jrip)
+HMD_REGISTER(kSgd, sgd)
+HMD_REGISTER(kSmo, smo)
+HMD_REGISTER(kMlp, mlp)
+
+BENCHMARK(bm_capture_interval)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

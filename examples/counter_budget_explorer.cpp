@@ -1,0 +1,67 @@
+// Counter-budget explorer: the architectural question the paper ends on —
+// "how many HPCs should a future core implement for malware detection?"
+//
+// For a chosen classifier (argv[1], default REPTree) this sweeps the
+// counter budget 1..8 and prints, per budget: detection quality of the
+// general / boosted / bagged detector plus the estimated silicon cost, so
+// the quality-per-area trade-off is visible in one table.
+//
+// Build & run:  ./build/examples/counter_budget_explorer [classifier]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "core/hmd.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hmd;
+
+  ml::ClassifierKind kind = ml::ClassifierKind::kRepTree;
+  if (argc > 1) {
+    bool found = false;
+    for (ml::ClassifierKind k : ml::all_classifier_kinds()) {
+      if (ml::classifier_kind_name(k) == std::string_view(argv[1])) {
+        kind = k;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "unknown classifier '%s' — use one of: BayesNet J48 JRip "
+                   "MLP OneR REPTree SGD SMO\n",
+                   argv[1]);
+      return 1;
+    }
+  }
+
+  core::ExperimentConfig cfg;
+  cfg.corpus.benign_per_template = 2;
+  cfg.corpus.malware_per_template = 3;
+  cfg.corpus.intervals_per_app = 14;
+  const core::ExperimentContext ctx = core::prepare_experiment(cfg);
+
+  TextTable table(std::string("Counter budget sweep — ") +
+                  std::string(ml::classifier_kind_name(kind)));
+  table.set_header({"HPCs", "General acc%", "Boosted acc%", "Bagging acc%",
+                    "Boosted AUC", "Boosted area%", "Boosted cycles"});
+  for (std::size_t hpcs = 1; hpcs <= 8; ++hpcs) {
+    const auto general =
+        core::run_cell(ctx, kind, ml::EnsembleKind::kGeneral, hpcs);
+    const auto boosted =
+        core::run_cell(ctx, kind, ml::EnsembleKind::kAdaBoost, hpcs);
+    const auto bagged =
+        core::run_cell(ctx, kind, ml::EnsembleKind::kBagging, hpcs);
+    const auto est = hw::estimate_hardware(boosted.complexity);
+    table.add_row({std::to_string(hpcs),
+                   TextTable::num(100.0 * general.metrics.accuracy, 1),
+                   TextTable::num(100.0 * boosted.metrics.accuracy, 1),
+                   TextTable::num(100.0 * bagged.metrics.accuracy, 1),
+                   TextTable::num(boosted.metrics.auc, 3),
+                   TextTable::num(est.area_percent(), 1),
+                   TextTable::num(est.latency_cycles, 0)});
+    std::fprintf(stderr, "budget %zu done\n", hpcs);
+  }
+  table.print(std::cout);
+  return 0;
+}

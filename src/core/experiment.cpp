@@ -1,0 +1,97 @@
+#include "core/experiment.h"
+
+#include "support/check.h"
+
+namespace hmd::core {
+
+std::vector<std::size_t> ExperimentContext::top_features(std::size_t k) const {
+  return ml::top_k_features(ranking, k);
+}
+
+std::vector<std::string> ExperimentContext::top_feature_names(
+    std::size_t k) const {
+  std::vector<std::string> names;
+  names.reserve(k);
+  for (std::size_t f : top_features(k))
+    names.push_back(full.feature_name(f));
+  return names;
+}
+
+ml::Dataset to_dataset(const hpc::Capture& capture) {
+  ml::Dataset data(capture.feature_names);
+  for (std::size_t i = 0; i < capture.num_rows(); ++i)
+    data.add_row(capture.rows[i], capture.labels[i], 1.0,
+                 capture.row_app[i]);
+  return data;
+}
+
+ExperimentContext prepare_experiment(const ExperimentConfig& config) {
+  ExperimentContext ctx;
+  ctx.config = config;
+
+  const auto corpus = sim::build_corpus(config.corpus);
+  ctx.capture = hpc::capture_all_events(corpus, config.capture);
+  ctx.full = to_dataset(ctx.capture);
+
+  Rng split_rng(config.split_seed);
+  ctx.split =
+      ml::stratified_group_split(ctx.full, config.train_fraction, split_rng);
+
+  // Feature reduction is fit on the training applications only — the test
+  // applications are "unknown" end to end. The raw correlation ranking is
+  // de-duplicated so near-identical counters don't crowd out distinct ones.
+  ctx.ranking = ml::prune_redundant(ctx.split.train,
+                                    ml::correlation_ranking(ctx.split.train));
+  return ctx;
+}
+
+namespace {
+
+/// Train the cell's detector on the context's training split restricted to
+/// the top `hpcs` events.
+std::unique_ptr<ml::Classifier> train_cell(const ExperimentContext& ctx,
+                                           ml::ClassifierKind kind,
+                                           ml::EnsembleKind ensemble,
+                                           std::size_t hpcs,
+                                           ml::Dataset& test_out) {
+  HMD_REQUIRE(hpcs >= 1);
+  const auto features = ctx.top_features(hpcs);
+  const ml::Dataset train = ctx.split.train.select_features(features);
+  test_out = ctx.split.test.select_features(features);
+
+  auto detector = ml::make_detector(kind, ensemble, ctx.config.model_seed);
+  detector->train(train);
+  return detector;
+}
+
+}  // namespace
+
+CellResult run_cell(const ExperimentContext& ctx, ml::ClassifierKind kind,
+                    ml::EnsembleKind ensemble, std::size_t hpcs) {
+  ml::Dataset test;
+  const auto detector = train_cell(ctx, kind, ensemble, hpcs, test);
+
+  CellResult cell;
+  cell.classifier = kind;
+  cell.ensemble = ensemble;
+  cell.hpcs = hpcs;
+  cell.metrics = ml::evaluate_detector(*detector, test);
+  cell.complexity = detector->complexity();
+  return cell;
+}
+
+CellScores run_cell_scores(const ExperimentContext& ctx,
+                           ml::ClassifierKind kind, ml::EnsembleKind ensemble,
+                           std::size_t hpcs) {
+  ml::Dataset test;
+  const auto detector = train_cell(ctx, kind, ensemble, hpcs, test);
+
+  CellScores out;
+  out.scores = ml::score_dataset(*detector, test);
+  out.labels.reserve(test.num_rows());
+  for (std::size_t i = 0; i < test.num_rows(); ++i)
+    out.labels.push_back(test.label(i));
+  return out;
+}
+
+}  // namespace hmd::core

@@ -1,0 +1,80 @@
+// The end-to-end experimental pipeline of the paper (Figure 2):
+//
+//   corpus → capture (44 events, 4-counter PMU, 11 batches) →
+//   feature reduction (Correlation Attribute Evaluation, top 16) →
+//   70/30 application-level split →
+//   train {General, AdaBoost, Bagging} × {8 classifiers} × {16,8,4,2 HPCs} →
+//   evaluate accuracy / AUC / ACC×AUC / hardware cost.
+//
+// `prepare_experiment` performs the expensive data collection once;
+// `run_cell` evaluates one grid cell against the shared context. Every
+// bench binary regenerating a paper table/figure is a thin loop over cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpc/capture.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/feature_selection.h"
+#include "ml/metrics.h"
+
+namespace hmd::core {
+
+struct ExperimentConfig {
+  sim::CorpusConfig corpus{};
+  hpc::CaptureConfig capture{};
+  double train_fraction = 0.7;   ///< paper: 70%/30% known/unknown apps
+  std::uint64_t split_seed = 42;
+  std::size_t selected_features = 16;  ///< paper Table 1 keeps 16
+  std::uint64_t model_seed = 7;
+};
+
+/// Shared, immutable state for a whole experiment grid.
+struct ExperimentContext {
+  ExperimentConfig config;
+  hpc::Capture capture;             ///< raw 44-event matrix
+  ml::Dataset full;                 ///< as Dataset (group = application)
+  ml::Split split;                  ///< app-level 70/30 split, all features
+  std::vector<ml::FeatureScore> ranking;  ///< correlation ranking (train set)
+
+  /// Global feature (event) indices of the top-k ranked HPCs.
+  std::vector<std::size_t> top_features(std::size_t k) const;
+
+  /// Names of the top-k ranked events, in rank order (paper Table 1).
+  std::vector<std::string> top_feature_names(std::size_t k) const;
+};
+
+/// Convert a capture into a Dataset (row group = application index).
+ml::Dataset to_dataset(const hpc::Capture& capture);
+
+/// Collect the corpus, build the dataset, split, and rank features.
+/// This is the expensive step — an entire 11-runs-per-application campaign.
+ExperimentContext prepare_experiment(const ExperimentConfig& config = {});
+
+/// One cell of the paper's evaluation grid.
+struct CellResult {
+  ml::ClassifierKind classifier{};
+  ml::EnsembleKind ensemble{};
+  std::size_t hpcs = 0;
+  ml::DetectorMetrics metrics{};
+  ml::ModelComplexity complexity{};  ///< trained structure, for hw costing
+};
+
+/// Train and evaluate one (classifier, ensemble, #HPC) detector on the
+/// context's split. Deterministic given config.model_seed.
+CellResult run_cell(const ExperimentContext& ctx, ml::ClassifierKind kind,
+                    ml::EnsembleKind ensemble, std::size_t hpcs);
+
+/// Scores of one freshly trained cell over the test set, with labels —
+/// used by the ROC figure bench.
+struct CellScores {
+  std::vector<double> scores;
+  std::vector<int> labels;
+};
+CellScores run_cell_scores(const ExperimentContext& ctx,
+                           ml::ClassifierKind kind, ml::EnsembleKind ensemble,
+                           std::size_t hpcs);
+
+}  // namespace hmd::core

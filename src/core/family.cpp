@@ -1,0 +1,96 @@
+#include "core/family.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.h"
+
+namespace hmd::core {
+
+FamilyClassifier::FamilyClassifier() : cfg_(Config{}) {}
+
+FamilyClassifier::FamilyClassifier(Config cfg) : cfg_(cfg) {}
+
+void FamilyClassifier::train(const ml::Dataset& data,
+                             const std::vector<std::string>& family_of_row) {
+  HMD_REQUIRE(data.num_rows() > 0);
+  HMD_REQUIRE(family_of_row.size() == data.num_rows());
+
+  std::set<std::string> family_set;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const bool is_malware = data.label(i) == 1;
+    HMD_REQUIRE_MSG(is_malware == !family_of_row[i].empty(),
+                    "family labels must match the binary labels");
+    if (is_malware) family_set.insert(family_of_row[i]);
+  }
+  HMD_REQUIRE_MSG(!family_set.empty(), "no malware families in training data");
+
+  families_.assign(family_set.begin(), family_set.end());
+
+  // Stage 1: the binary malware-vs-benign gate (the paper's detector).
+  gate_ = ml::make_detector(cfg_.base, cfg_.ensemble, cfg_.seed);
+  gate_->train(data);
+
+  detectors_.clear();
+  for (const std::string& family : families_) {
+    // One-vs-rest: this family's rows against benign AND every other
+    // family. (Family-vs-benign-only detectors cannot arbitrate between
+    // families — two of them can both fire with probability 1.)
+    ml::Dataset subset(data.feature_names());
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      std::vector<double> row(data.row(i).begin(), data.row(i).end());
+      subset.add_row(std::move(row), family_of_row[i] == family ? 1 : 0,
+                     data.weight(i), data.group(i));
+    }
+    auto detector = ml::make_detector(cfg_.base, cfg_.ensemble, cfg_.seed);
+    detector->train(subset);
+    detectors_.push_back(std::move(detector));
+  }
+  trained_ = true;
+}
+
+FamilyClassifier::Prediction FamilyClassifier::classify(
+    std::span<const double> x) const {
+  HMD_REQUIRE_MSG(trained_, "FamilyClassifier::train() must be called first");
+  Prediction best;
+  best.gate_score = gate_->predict_proba(x);
+  if (best.gate_score < cfg_.gate_threshold) return best;  // benign
+  // Stage 2: arg-max over the family detectors (no threshold — the gate
+  // already decided this sample is malicious).
+  for (std::size_t f = 0; f < families_.size(); ++f) {
+    const double score = detectors_[f]->predict_proba(x);
+    if (score >= best.score) {
+      best.score = score;
+      best.family = families_[f];
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> family_labels(
+    const hpc::Capture& capture, const std::vector<sim::AppProfile>& corpus) {
+  HMD_REQUIRE(capture.app_names.size() == corpus.size());
+  std::vector<std::string> out;
+  out.reserve(capture.num_rows());
+  for (std::size_t i = 0; i < capture.num_rows(); ++i) {
+    const sim::AppProfile& app = capture.row_app[i] < corpus.size()
+                                     ? corpus[capture.row_app[i]]
+                                     : corpus.front();
+    out.push_back(app.is_malware ? app.family : std::string{});
+  }
+  return out;
+}
+
+FamilyConfusion evaluate_families(
+    const FamilyClassifier& clf, const ml::Dataset& test,
+    const std::vector<std::string>& family_of_row) {
+  HMD_REQUIRE(family_of_row.size() == test.num_rows());
+  FamilyConfusion confusion;
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    const auto pred = clf.classify(test.row(i));
+    ++confusion[family_of_row[i]][pred.family];
+  }
+  return confusion;
+}
+
+}  // namespace hmd::core

@@ -1,0 +1,71 @@
+// Malware *family* classification — the specialization the paper's related
+// work (Khasawneh et al., RAID'15) builds: one detector per malware type,
+// combined into a decision.
+//
+// Two-stage design: a binary malware-vs-benign gate (the paper's detector)
+// decides WHETHER a sample is malicious; one one-vs-rest detector per
+// family then arbitrates WHICH family, by arg-max score. Gating first
+// matters — family scores alone are poorly calibrated against benign
+// traffic, and the binary detector is the best benign boundary we have.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpc/capture.h"
+#include "ml/classifier.h"
+
+namespace hmd::core {
+
+class FamilyClassifier {
+ public:
+  struct Config {
+    ml::ClassifierKind base = ml::ClassifierKind::kJ48;
+    ml::EnsembleKind ensemble = ml::EnsembleKind::kBagging;
+    double gate_threshold = 0.5;  ///< binary malware gate decision point
+    std::uint64_t seed = 7;
+  };
+
+  // Defined out-of-line: a nested struct with default member initializers
+  // is not usable as a default argument inside its own class definition.
+  FamilyClassifier();
+  explicit FamilyClassifier(Config cfg);
+
+  /// Train one family-vs-benign detector per malware family present.
+  /// `family_of_row[i]` is "" (benign) or the family of row i.
+  void train(const ml::Dataset& data,
+             const std::vector<std::string>& family_of_row);
+
+  struct Prediction {
+    std::string family;      ///< "" = benign
+    double score = 0.0;      ///< winning family's probability
+    double gate_score = 0.0; ///< binary malware probability
+  };
+  Prediction classify(std::span<const double> x) const;
+
+  const std::vector<std::string>& families() const { return families_; }
+  bool trained() const { return trained_; }
+
+ private:
+  Config cfg_;
+  std::vector<std::string> families_;
+  std::unique_ptr<ml::Classifier> gate_;  ///< malware-vs-benign
+  std::vector<std::unique_ptr<ml::Classifier>> detectors_;
+  bool trained_ = false;
+};
+
+/// Per-row family labels for a capture ("" for benign rows).
+std::vector<std::string> family_labels(const hpc::Capture& capture,
+                                       const std::vector<sim::AppProfile>& corpus);
+
+/// Family-level confusion: result[truth][predicted] = row count, with ""
+/// for benign on both axes.
+using FamilyConfusion = std::map<std::string, std::map<std::string, std::size_t>>;
+
+FamilyConfusion evaluate_families(const FamilyClassifier& clf,
+                                  const ml::Dataset& test,
+                                  const std::vector<std::string>& family_of_row);
+
+}  // namespace hmd::core

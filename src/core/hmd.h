@@ -1,0 +1,24 @@
+// Umbrella header: the public API of the HMD (Hardware Malware Detection)
+// library. Include this to get the whole pipeline:
+//
+//   #include "core/hmd.h"
+//
+//   auto ctx = hmd::core::prepare_experiment();            // capture corpus
+//   auto cell = hmd::core::run_cell(ctx,                   // train+evaluate
+//       hmd::ml::ClassifierKind::kRepTree,
+//       hmd::ml::EnsembleKind::kAdaBoost, /*hpcs=*/2);
+//   auto hw = hmd::hw::estimate_hardware(cell.complexity); // FPGA cost
+#pragma once
+
+#include "core/experiment.h"   // IWYU pragma: export
+#include "core/online.h"       // IWYU pragma: export
+#include "hpc/capture.h"       // IWYU pragma: export
+#include "hpc/container.h"     // IWYU pragma: export
+#include "hpc/pmu.h"           // IWYU pragma: export
+#include "hw/resources.h"      // IWYU pragma: export
+#include "ml/classifier.h"     // IWYU pragma: export
+#include "ml/dataset.h"        // IWYU pragma: export
+#include "ml/feature_selection.h"  // IWYU pragma: export
+#include "ml/metrics.h"        // IWYU pragma: export
+#include "sim/machine.h"       // IWYU pragma: export
+#include "sim/workloads.h"     // IWYU pragma: export

@@ -1,0 +1,92 @@
+#include "core/online.h"
+
+#include "core/experiment.h"
+#include "hpc/capture.h"
+#include "support/check.h"
+
+namespace hmd::core {
+
+OnlineDetector::OnlineDetector(std::shared_ptr<const ml::Classifier> model,
+                               std::vector<sim::Event> events,
+                               hpc::PmuConfig pmu, OnlineConfig cfg)
+    : model_(std::move(model)),
+      events_(std::move(events)),
+      pmu_(pmu),
+      cfg_(cfg) {
+  HMD_REQUIRE(model_ != nullptr);
+  HMD_REQUIRE(!events_.empty());
+  HMD_REQUIRE(cfg_.alarm_off <= cfg_.alarm_on);
+  // The run-time constraint: the detector's events must be concurrently
+  // countable — this throws if they exceed the PMU width.
+  pmu_.program(events_);
+}
+
+Verdict OnlineDetector::observe(const sim::EventCounts& counts) {
+  pmu_.observe(counts);
+  const auto values = pmu_.sample_and_clear();
+
+  std::vector<double> x(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    x[i] = static_cast<double>(values[i]);
+
+  Verdict v;
+  v.interval = interval_++;
+  v.score = model_->predict_proba(x);
+
+  if (v.interval < cfg_.warmup_intervals) {
+    // Cold caches make the first interval(s) unrepresentative.
+    v.ewma = ewma_init_ ? ewma_ : 0.0;
+    v.alarm = alarm_;
+    return v;
+  }
+  if (!ewma_init_) {
+    ewma_ = v.score;
+    ewma_init_ = true;
+  } else {
+    ewma_ = cfg_.ewma_alpha * v.score + (1.0 - cfg_.ewma_alpha) * ewma_;
+  }
+  if (!alarm_ && ewma_ >= cfg_.alarm_on) alarm_ = true;
+  if (alarm_ && ewma_ <= cfg_.alarm_off) alarm_ = false;
+
+  v.ewma = ewma_;
+  v.alarm = alarm_;
+  return v;
+}
+
+void OnlineDetector::reset() {
+  interval_ = 0;
+  ewma_ = 0.0;
+  ewma_init_ = false;
+  alarm_ = false;
+  pmu_.clear();
+}
+
+std::shared_ptr<ml::Classifier> train_deployment_model(
+    const std::vector<sim::AppProfile>& corpus,
+    const std::vector<sim::Event>& events, ml::ClassifierKind kind,
+    ml::EnsembleKind ensemble, const hpc::CaptureConfig& capture_cfg,
+    std::uint64_t seed) {
+  HMD_REQUIRE(!events.empty());
+  const hpc::Capture capture =
+      hpc::capture_corpus(corpus, events, capture_cfg);
+  const ml::Dataset data = to_dataset(capture);
+  std::shared_ptr<ml::Classifier> model =
+      ml::make_detector(kind, ensemble, seed);
+  model->train(data);
+  return model;
+}
+
+std::vector<Verdict> monitor_application(const sim::AppProfile& app,
+                                         OnlineDetector& detector,
+                                         sim::MachineConfig machine_cfg,
+                                         std::uint32_t run_index) {
+  sim::Machine machine(machine_cfg);
+  machine.start_run(app, run_index);
+  std::vector<Verdict> timeline;
+  timeline.reserve(app.intervals);
+  while (machine.running())
+    timeline.push_back(detector.observe(machine.next_interval()));
+  return timeline;
+}
+
+}  // namespace hmd::core

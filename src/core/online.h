@@ -1,0 +1,89 @@
+// Run-time detection: the deployment-side component the paper motivates.
+//
+// A trained detector (typically 2-4 HPC ensemble) watches an application
+// while it executes: the PMU is programmed ONCE with the detector's events
+// (they must fit the 4 counter registers — the whole point of the paper),
+// every 10 ms sample is classified, and an exponentially-weighted moving
+// average of the malware probability drives an alarm with hysteresis.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hpc/capture.h"
+#include "hpc/pmu.h"
+#include "ml/classifier.h"
+#include "sim/app_profile.h"
+#include "sim/machine.h"
+
+namespace hmd::core {
+
+struct OnlineConfig {
+  double ewma_alpha = 0.35;      ///< smoothing of the per-interval scores
+  double alarm_on = 0.60;        ///< EWMA level that raises the alarm
+  double alarm_off = 0.40;       ///< EWMA level that clears it (hysteresis)
+  std::size_t warmup_intervals = 1;  ///< ignore cold-start intervals
+};
+
+/// Per-interval verdict from the online detector.
+struct Verdict {
+  std::size_t interval = 0;
+  double score = 0.0;   ///< P(malware) for this sample
+  double ewma = 0.0;    ///< smoothed score
+  bool alarm = false;   ///< alarm state after this sample
+};
+
+/// Streams PMU samples into a trained classifier.
+class OnlineDetector {
+ public:
+  /// `events` are the detector's input events, in the exact feature order
+  /// the classifier was trained with; they must fit the PMU width.
+  OnlineDetector(std::shared_ptr<const ml::Classifier> model,
+                 std::vector<sim::Event> events, hpc::PmuConfig pmu = {},
+                 OnlineConfig cfg = {});
+
+  /// Feed one 10 ms interval of machine activity; returns the verdict.
+  Verdict observe(const sim::EventCounts& counts);
+
+  /// Reset the EWMA/alarm state (e.g. a new application is scheduled).
+  void reset();
+
+  const std::vector<sim::Event>& events() const { return events_; }
+  bool alarmed() const { return alarm_; }
+
+ private:
+  std::shared_ptr<const ml::Classifier> model_;
+  std::vector<sim::Event> events_;
+  hpc::Pmu pmu_;
+  OnlineConfig cfg_;
+
+  std::size_t interval_ = 0;
+  double ewma_ = 0.0;
+  bool alarm_ = false;
+  bool ewma_init_ = false;
+};
+
+/// Execute `app` on a fresh machine under the online detector and return
+/// the full verdict timeline (convenience driver for examples/tests).
+std::vector<Verdict> monitor_application(const sim::AppProfile& app,
+                                         OnlineDetector& detector,
+                                         sim::MachineConfig machine_cfg = {},
+                                         std::uint32_t run_index = 0);
+
+/// Train a detector *for deployment*: re-captures `corpus` with exactly the
+/// detector's `events` — which fit the PMU, so one run per application —
+/// and fits the model on that data.
+///
+/// This step matters: the offline study merges feature columns from
+/// different runs (the 11-batch protocol), but at run time all counters
+/// are read from the SAME execution, so cross-feature noise is correlated
+/// in a way the merged training data never shows. Training on
+/// deployment-shaped data removes a systematic false-alarm source (see the
+/// run-time section of EXPERIMENTS.md).
+std::shared_ptr<ml::Classifier> train_deployment_model(
+    const std::vector<sim::AppProfile>& corpus,
+    const std::vector<sim::Event>& events, ml::ClassifierKind kind,
+    ml::EnsembleKind ensemble, const hpc::CaptureConfig& capture_cfg = {},
+    std::uint64_t seed = 7);
+
+}  // namespace hmd::core

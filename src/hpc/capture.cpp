@@ -1,0 +1,161 @@
+#include "hpc/capture.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.h"
+
+namespace hmd::hpc {
+namespace {
+
+/// Column index of each requested event in the output feature matrix.
+std::size_t column_of(const std::vector<sim::Event>& events, sim::Event e) {
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events[i] == e) return i;
+  throw InvariantError("event missing from capture request");
+}
+
+void capture_multi_run(const std::vector<sim::AppProfile>& corpus,
+                       const std::vector<sim::Event>& events,
+                       const CaptureConfig& cfg, Capture& out) {
+  Container container(cfg.machine, cfg.pmu);
+  const auto batches =
+      schedule_batches(events, container.pmu().hardware_slots());
+  for (std::size_t a = 0; a < corpus.size(); ++a) {
+    const sim::AppProfile& app = corpus[a];
+    // rows for this app, assembled across batches by interval index.
+    std::vector<std::vector<double>> app_rows(
+        app.intervals,
+        std::vector<double>(events.size(),
+                            std::numeric_limits<double>::quiet_NaN()));
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const RunTrace trace =
+          container.run(app, static_cast<std::uint32_t>(b), batches[b]);
+      HMD_INVARIANT(trace.samples.size() == app.intervals);
+      for (std::size_t i = 0; i < trace.samples.size(); ++i)
+        for (std::size_t j = 0; j < trace.events.size(); ++j)
+          app_rows[i][column_of(events, trace.events[j])] =
+              static_cast<double>(trace.samples[i][j]);
+    }
+    for (auto& row : app_rows) {
+      for (double v : row)
+        HMD_INVARIANT(v == v);  // every column filled by some batch
+      out.rows.push_back(std::move(row));
+      out.labels.push_back(app.is_malware ? 1 : 0);
+      out.row_app.push_back(a);
+    }
+  }
+  out.total_runs = container.runs_executed();
+}
+
+void capture_multiplex(const std::vector<sim::AppProfile>& corpus,
+                       const std::vector<sim::Event>& events,
+                       const CaptureConfig& cfg, Capture& out) {
+  const auto batches = schedule_batches(events, cfg.pmu.programmable_counters);
+  std::uint64_t runs = 0;
+  for (std::size_t a = 0; a < corpus.size(); ++a) {
+    const sim::AppProfile& app = corpus[a];
+    sim::Machine machine(cfg.machine);
+    Pmu pmu(cfg.pmu);
+    machine.start_run(app, /*run_index=*/0);
+    ++runs;
+
+    std::vector<double> last_seen(events.size(),
+                                  std::numeric_limits<double>::quiet_NaN());
+    std::size_t interval = 0;
+    while (machine.running()) {
+      const auto& batch = batches[interval % batches.size()];
+      pmu.program(batch);
+      const sim::EventCounts counts = machine.next_interval();
+      pmu.observe(counts);
+      const auto values = pmu.sample_and_clear();
+      for (std::size_t j = 0; j < batch.size(); ++j)
+        last_seen[column_of(events, batch[j])] =
+            static_cast<double>(values[j]);
+
+      // Emit a row only once every event has been measured at least once
+      // (perf reports scaled estimates; we model hold-last-value).
+      const bool complete =
+          std::none_of(last_seen.begin(), last_seen.end(),
+                       [](double v) { return v != v; });
+      if (complete) {
+        out.rows.push_back(last_seen);
+        out.labels.push_back(app.is_malware ? 1 : 0);
+        out.row_app.push_back(a);
+      }
+      ++interval;
+    }
+  }
+  out.total_runs = runs;
+}
+
+void capture_oracle(const std::vector<sim::AppProfile>& corpus,
+                    const std::vector<sim::Event>& events,
+                    const CaptureConfig& cfg, Capture& out) {
+  std::uint64_t runs = 0;
+  for (std::size_t a = 0; a < corpus.size(); ++a) {
+    const sim::AppProfile& app = corpus[a];
+    sim::Machine machine(cfg.machine);
+    machine.start_run(app, /*run_index=*/0);
+    ++runs;
+    while (machine.running()) {
+      const sim::EventCounts counts = machine.next_interval();
+      std::vector<double> row(events.size());
+      for (std::size_t j = 0; j < events.size(); ++j)
+        row[j] = static_cast<double>(counts[events[j]]);
+      out.rows.push_back(std::move(row));
+      out.labels.push_back(app.is_malware ? 1 : 0);
+      out.row_app.push_back(a);
+    }
+  }
+  out.total_runs = runs;
+}
+
+}  // namespace
+
+std::string_view capture_protocol_name(CaptureProtocol p) {
+  switch (p) {
+    case CaptureProtocol::kMultiRun: return "multi-run";
+    case CaptureProtocol::kMultiplex: return "multiplex";
+    case CaptureProtocol::kOracle: return "oracle";
+  }
+  throw PreconditionError("unknown capture protocol");
+}
+
+Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
+                       const std::vector<sim::Event>& events,
+                       const CaptureConfig& cfg) {
+  HMD_REQUIRE(!corpus.empty());
+  HMD_REQUIRE(!events.empty());
+
+  Capture out;
+  out.feature_names.reserve(events.size());
+  for (sim::Event e : events)
+    out.feature_names.emplace_back(sim::event_name(e));
+  for (const auto& app : corpus) {
+    out.app_names.push_back(app.name);
+    out.app_labels.push_back(app.is_malware ? 1 : 0);
+  }
+
+  switch (cfg.protocol) {
+    case CaptureProtocol::kMultiRun:
+      capture_multi_run(corpus, events, cfg, out);
+      break;
+    case CaptureProtocol::kMultiplex:
+      capture_multiplex(corpus, events, cfg, out);
+      break;
+    case CaptureProtocol::kOracle:
+      capture_oracle(corpus, events, cfg, out);
+      break;
+  }
+  return out;
+}
+
+Capture capture_all_events(const std::vector<sim::AppProfile>& corpus,
+                           const CaptureConfig& cfg) {
+  std::vector<sim::Event> events(sim::all_events().begin(),
+                                 sim::all_events().end());
+  return capture_corpus(corpus, events, cfg);
+}
+
+}  // namespace hmd::hpc

@@ -1,0 +1,24 @@
+#include "hpc/container.h"
+
+namespace hmd::hpc {
+
+RunTrace Container::run(const sim::AppProfile& app, std::uint32_t run_index,
+                        const std::vector<sim::Event>& events) {
+  ++runs_;
+  // Fresh container: the machine state is fully destroyed and rebuilt.
+  machine_.start_run(app, run_index);
+  pmu_.program(events);
+
+  RunTrace trace;
+  trace.events = pmu_.programmed();
+  trace.samples.reserve(app.intervals);
+  while (machine_.running()) {
+    const sim::EventCounts counts = machine_.next_interval();
+    pmu_.observe(counts);
+    trace.samples.push_back(pmu_.sample_and_clear());
+  }
+  machine_.reset();
+  return trace;
+}
+
+}  // namespace hmd::hpc

@@ -1,0 +1,48 @@
+// Isolated execution of one application run — the LXC-container analogue.
+//
+// The paper runs every capture inside a fresh Linux container and destroys
+// it after each run "to ensure that there is no contamination in collected
+// data due to the previous run". Container mirrors that: each run() starts
+// from a fully reset Machine (cold caches, cold predictor, fresh address
+// layout) and leaves no state behind for the next run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpc/pmu.h"
+#include "sim/app_profile.h"
+#include "sim/machine.h"
+
+namespace hmd::hpc {
+
+/// Per-interval readout of the programmed counters for one run.
+struct RunTrace {
+  std::vector<sim::Event> events;  ///< programmed events, column order
+  /// samples[i][j] = count of events[j] during 10 ms interval i.
+  std::vector<std::vector<std::uint64_t>> samples;
+};
+
+class Container {
+ public:
+  explicit Container(sim::MachineConfig machine_cfg = {}, PmuConfig pmu_cfg = {})
+      : machine_(machine_cfg), pmu_(pmu_cfg) {}
+
+  /// Execute `app` from scratch with the PMU programmed to `events`,
+  /// sampling every interval. `run_index` selects the batch-specific run
+  /// randomness (the paper re-executes the app once per batch).
+  RunTrace run(const sim::AppProfile& app, std::uint32_t run_index,
+               const std::vector<sim::Event>& events);
+
+  /// Total runs executed (for protocol-cost accounting in the ablations).
+  std::uint64_t runs_executed() const { return runs_; }
+
+  const Pmu& pmu() const { return pmu_; }
+
+ private:
+  sim::Machine machine_;
+  Pmu pmu_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace hmd::hpc

@@ -1,0 +1,85 @@
+#include "hpc/pmu.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace hmd::hpc {
+
+Pmu::Pmu(PmuConfig cfg) : cfg_(cfg) {
+  HMD_REQUIRE(cfg_.programmable_counters >= 1);
+  HMD_REQUIRE(cfg_.counter_bits >= 1 && cfg_.counter_bits <= 64);
+}
+
+std::uint32_t Pmu::hardware_event_count(
+    const std::vector<sim::Event>& events) {
+  std::uint32_t n = 0;
+  for (sim::Event e : events)
+    if (!sim::is_software_event(e)) ++n;
+  return n;
+}
+
+void Pmu::program(const std::vector<sim::Event>& events) {
+  for (std::size_t i = 0; i < events.size(); ++i)
+    for (std::size_t j = i + 1; j < events.size(); ++j)
+      HMD_REQUIRE_MSG(events[i] != events[j], "duplicate event programmed");
+  HMD_REQUIRE_MSG(
+      hardware_event_count(events) <= cfg_.programmable_counters,
+      "more hardware events than programmable counter registers");
+  programmed_ = events;
+  value_.assign(programmed_.size(), 0);
+}
+
+void Pmu::observe(const sim::EventCounts& counts) {
+  const std::uint64_t cap = cfg_.counter_bits >= 64
+                                ? ~0ULL
+                                : (std::uint64_t{1} << cfg_.counter_bits) - 1;
+  for (std::size_t i = 0; i < programmed_.size(); ++i) {
+    const std::uint64_t delta = counts[programmed_[i]];
+    // Saturating accumulate: clamp whenever the headroom is too small.
+    value_[i] = (delta >= cap - value_[i]) ? cap : value_[i] + delta;
+  }
+}
+
+std::optional<std::uint64_t> Pmu::read(sim::Event e) const {
+  for (std::size_t i = 0; i < programmed_.size(); ++i)
+    if (programmed_[i] == e) return value_[i];
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> Pmu::sample_and_clear() {
+  std::vector<std::uint64_t> out = value_;
+  clear();
+  return out;
+}
+
+void Pmu::clear() { std::fill(value_.begin(), value_.end(), 0); }
+
+std::vector<std::vector<sim::Event>> schedule_batches(
+    const std::vector<sim::Event>& events, std::uint32_t width) {
+  HMD_REQUIRE(width >= 1);
+  std::vector<std::vector<sim::Event>> batches;
+  std::vector<sim::Event> software;
+  std::vector<sim::Event> current;
+  for (sim::Event e : events) {
+    if (sim::is_software_event(e)) {
+      software.push_back(e);
+      continue;
+    }
+    current.push_back(e);
+    if (current.size() == width) {
+      batches.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  if (!software.empty()) {
+    if (batches.empty()) batches.emplace_back();
+    // Software events cost no register; attach them to the first batch.
+    auto& first = batches.front();
+    first.insert(first.end(), software.begin(), software.end());
+  }
+  return batches;
+}
+
+}  // namespace hmd::hpc

@@ -1,0 +1,78 @@
+// Performance monitoring unit (PMU) model.
+//
+// The paper's central constraint: the Xeon X5550 exposes only **4**
+// programmable counter registers, so only 4 hardware events can be counted
+// concurrently; capturing the 44-event feature space therefore needs 11
+// batches = 11 separate executions of the application. This class enforces
+// that constraint — the rest of the stack cannot read an event the PMU was
+// not programmed with.
+//
+// Software events (page faults, context switches, ...) are maintained by
+// the kernel, not by counter registers, and are always readable — exactly
+// as with perf_event_open.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/events.h"
+
+namespace hmd::hpc {
+
+/// Architectural width of the PMU.
+struct PmuConfig {
+  std::uint32_t programmable_counters = 4;  ///< Nehalem: 4
+  /// Bit width of each counter register. Counters saturate at 2^bits - 1
+  /// within a sampling period (we model saturating rather than wrapping
+  /// counters, the common PMU design choice for narrow counters). Nehalem
+  /// counters are 48 bits — effectively unsaturable at 10 ms; the
+  /// counter-width ablation shrinks this to study cheap-PMU designs.
+  std::uint32_t counter_bits = 48;
+};
+
+/// A programmable-counter file that can observe a sim::EventCounts stream.
+class Pmu {
+ public:
+  explicit Pmu(PmuConfig cfg = {});
+
+  /// Program the counter registers. Hardware events in `events` must fit in
+  /// the available registers (software events are free). Throws
+  /// PreconditionError on over-subscription or duplicates.
+  void program(const std::vector<sim::Event>& events);
+
+  /// Events currently programmed (hardware + software), in program order.
+  const std::vector<sim::Event>& programmed() const { return programmed_; }
+
+  /// Accumulate one interval of machine activity into the counters.
+  void observe(const sim::EventCounts& counts);
+
+  /// Read a counter; disallowed (nullopt) for events not programmed —
+  /// this models the fact that an unprogrammed event simply has no register.
+  std::optional<std::uint64_t> read(sim::Event e) const;
+
+  /// Read and clear all programmed counters (sampling readout).
+  std::vector<std::uint64_t> sample_and_clear();
+
+  /// Zero all counters.
+  void clear();
+
+  std::uint32_t hardware_slots() const { return cfg_.programmable_counters; }
+
+  /// Number of hardware (register-occupying) events among `events`.
+  static std::uint32_t hardware_event_count(
+      const std::vector<sim::Event>& events);
+
+ private:
+  PmuConfig cfg_;
+  std::vector<sim::Event> programmed_;
+  std::vector<std::uint64_t> value_;
+};
+
+/// Partition `events` into capture batches that each fit a `width`-counter
+/// PMU. Software events ride along with the first batch (they cost no
+/// register). Preserves order. This is the paper's "11 batches of 4 events".
+std::vector<std::vector<sim::Event>> schedule_batches(
+    const std::vector<sim::Event>& events, std::uint32_t width);
+
+}  // namespace hmd::hpc

@@ -1,0 +1,227 @@
+#include "hw/hls_codegen.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "ml/adaboost.h"
+#include "ml/bagging.h"
+#include "ml/j48.h"
+#include "ml/jrip.h"
+#include "ml/oner.h"
+#include "ml/reptree.h"
+#include "ml/sgd.h"
+#include "ml/smo.h"
+#include "support/check.h"
+
+namespace hmd::hw {
+namespace {
+
+/// Fixed-point conversion of a real constant.
+long long fx(double v, int fraction_bits) {
+  return static_cast<long long>(
+      std::llround(v * static_cast<double>(1LL << fraction_bits)));
+}
+
+struct Emitter {
+  std::ostream& os;
+  const HlsOptions& opt;
+  std::size_t num_inputs;
+  int next_id = 0;
+
+  std::string fresh(const char* stem) {
+    return std::string(stem) + "_" + std::to_string(next_id++);
+  }
+
+  /// Emit a helper returning the model's hard {0,1} decision into
+  /// `int <name>(const int32_t x[])`; returns the helper's name.
+  std::string emit_model(const ml::Classifier& model);
+
+  std::string emit_oner(const ml::OneR& oner);
+  template <typename Tree>
+  std::string emit_tree(const Tree& tree);
+  std::string emit_jrip(const ml::JRip& jrip);
+  template <typename Linear>
+  std::string emit_linear(const Linear& linear);
+  std::string emit_adaboost(const ml::AdaBoostM1& boost);
+  std::string emit_bagging(const ml::Bagging& bag);
+};
+
+std::string Emitter::emit_oner(const ml::OneR& oner) {
+  const std::string name = fresh("oner");
+  os << "static int " << name << "(const int32_t x[]) {\n"
+     << "  const int32_t v = x[" << oner.chosen_feature() << "];\n";
+  const auto& cuts = oner.bucket_cuts();
+  const auto& proba = oner.bucket_proba();
+  // Cascaded compares: first cut >= v selects the bucket.
+  for (std::size_t b = 0; b < cuts.size(); ++b)
+    os << "  if (v <= " << fx(cuts[b], opt.fraction_bits) << "LL) return "
+       << (proba[b] >= 0.5 ? 1 : 0) << ";\n";
+  os << "  return " << (proba.back() >= 0.5 ? 1 : 0) << ";\n}\n\n";
+  return name;
+}
+
+template <typename Tree>
+std::string Emitter::emit_tree(const Tree& tree) {
+  const std::string name = fresh("tree");
+  const auto nodes = tree.flatten();
+  // Iterative node walk (HLS-friendly: bounded loop, no recursion).
+  os << "static int " << name << "(const int32_t x[]) {\n"
+     << "  static const int32_t thr[" << nodes.size() << "] = {";
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    os << (i ? "," : "") << fx(nodes[i].leaf ? 0.0 : nodes[i].threshold,
+                               opt.fraction_bits) << "LL";
+  os << "};\n  static const int16_t feat[" << nodes.size() << "] = {";
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    os << (i ? "," : "")
+       << (nodes[i].leaf ? -(nodes[i].proba >= 0.5 ? 2 : 1)
+                         : static_cast<int>(nodes[i].feature));
+  os << "};\n  static const uint16_t kid[" << nodes.size() << "][2] = {";
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    os << (i ? "," : "") << "{" << nodes[i].left << "," << nodes[i].right
+       << "}";
+  os << "};\n"
+     << "  uint16_t n = 0;\n"
+     << "  for (int depth = 0; depth < " << nodes.size() << "; ++depth) {\n"
+     << "    const int f = feat[n];\n"
+     << "    if (f < 0) return -f - 1;  /* leaf: -1 benign, -2 malware */\n"
+     << "    n = kid[n][x[f] <= thr[n] ? 0 : 1];\n"
+     << "  }\n  return 0;\n}\n\n";
+  return name;
+}
+
+std::string Emitter::emit_jrip(const ml::JRip& jrip) {
+  const std::string name = fresh("jrip");
+  os << "static int " << name << "(const int32_t x[]) {\n";
+  const int fire = jrip.target_class();
+  for (const auto& rule : jrip.rules()) {
+    os << "  if (1";
+    for (const auto& cond : rule.conditions)
+      os << " && x[" << cond.feature << "] " << (cond.leq ? "<=" : ">=")
+         << " " << fx(cond.value, opt.fraction_bits) << "LL";
+    os << ") return " << (fire == 1 ? (rule.precision >= 0.5 ? 1 : 0)
+                                    : (rule.precision >= 0.5 ? 0 : 1))
+       << ";\n";
+  }
+  os << "  return " << (fire == 1 ? 0 : 1) << ";  /* default class */\n"
+     << "}\n\n";
+  return name;
+}
+
+template <typename Linear>
+std::string Emitter::emit_linear(const Linear& linear) {
+  const std::string name = fresh("linear");
+  // Fold the standardization into per-feature slope and a global offset:
+  // margin = sum_f (w_f / sd_f) * x_f + (b - sum_f w_f * mu_f / sd_f).
+  const auto& w = linear.weights();
+  const auto& mu = linear.input_mean();
+  const auto& sd = linear.input_stdev();
+  double offset = linear.bias();
+  os << "static int " << name << "(const int32_t x[]) {\n"
+     << "  static const int64_t slope[" << w.size() << "] = {";
+  for (std::size_t f = 0; f < w.size(); ++f) {
+    os << (f ? "," : "") << fx(w[f] / sd[f], opt.fraction_bits) << "LL";
+    offset -= w[f] * mu[f] / sd[f];
+  }
+  os << "};\n"
+     << "  int64_t acc = " << fx(offset, 2 * opt.fraction_bits) << "LL;\n"
+     << "  for (int f = 0; f < " << w.size() << "; ++f)\n"
+     << "    acc += slope[f] * (int64_t)x[f];\n"
+     << "  return acc >= 0 ? 1 : 0;\n}\n\n";
+  return name;
+}
+
+std::string Emitter::emit_adaboost(const ml::AdaBoostM1& boost) {
+  std::vector<std::string> members;
+  std::vector<long long> alphas;
+  for (std::size_t m = 0; m < boost.num_members(); ++m) {
+    members.push_back(emit_model(boost.member(m)));
+    alphas.push_back(fx(boost.member_alpha(m), opt.fraction_bits));
+  }
+  long long total = 0;
+  for (long long a : alphas) total += a;
+  const std::string name = fresh("adaboost");
+  os << "static int " << name << "(const int32_t x[]) {\n"
+     << "  int64_t vote = 0;\n";
+  for (std::size_t m = 0; m < members.size(); ++m)
+    os << "  if (" << members[m] << "(x)) vote += " << alphas[m] << "LL;\n";
+  os << "  return 2 * vote >= " << total << "LL ? 1 : 0;\n}\n\n";
+  return name;
+}
+
+std::string Emitter::emit_bagging(const ml::Bagging& bag) {
+  std::vector<std::string> members;
+  for (std::size_t m = 0; m < bag.num_members(); ++m)
+    members.push_back(emit_model(bag.member(m)));
+  const std::string name = fresh("bagging");
+  os << "static int " << name << "(const int32_t x[]) {\n"
+     << "  int votes = 0;\n";
+  for (const auto& member : members)
+    os << "  votes += " << member << "(x);\n";
+  os << "  return 2 * votes >= " << members.size() << " ? 1 : 0;\n}\n\n";
+  return name;
+}
+
+std::string Emitter::emit_model(const ml::Classifier& model) {
+  if (const auto* oner = dynamic_cast<const ml::OneR*>(&model))
+    return emit_oner(*oner);
+  if (const auto* j48 = dynamic_cast<const ml::J48*>(&model))
+    return emit_tree(*j48);
+  if (const auto* rep = dynamic_cast<const ml::RepTree*>(&model))
+    return emit_tree(*rep);
+  if (const auto* jrip = dynamic_cast<const ml::JRip*>(&model))
+    return emit_jrip(*jrip);
+  if (const auto* sgd = dynamic_cast<const ml::Sgd*>(&model))
+    return emit_linear(*sgd);
+  if (const auto* smo = dynamic_cast<const ml::Smo*>(&model))
+    return emit_linear(*smo);
+  if (const auto* boost = dynamic_cast<const ml::AdaBoostM1*>(&model))
+    return emit_adaboost(*boost);
+  if (const auto* bag = dynamic_cast<const ml::Bagging*>(&model))
+    return emit_bagging(*bag);
+  throw PreconditionError("HLS codegen does not support model: " +
+                          model.name());
+}
+
+}  // namespace
+
+bool hls_supported(const ml::Classifier& model) {
+  if (dynamic_cast<const ml::OneR*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::J48*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::RepTree*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::JRip*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::Sgd*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::Smo*>(&model) != nullptr) return true;
+  if (const auto* boost = dynamic_cast<const ml::AdaBoostM1*>(&model)) {
+    return boost->num_members() == 0 || hls_supported(boost->member(0));
+  }
+  if (const auto* bag = dynamic_cast<const ml::Bagging*>(&model)) {
+    return bag->num_members() == 0 || hls_supported(bag->member(0));
+  }
+  return false;
+}
+
+void generate_hls_c(std::ostream& os, const ml::Classifier& model,
+                    std::size_t num_inputs, const HlsOptions& options) {
+  HMD_REQUIRE(num_inputs >= 1);
+  HMD_REQUIRE_MSG(hls_supported(model),
+                  "HLS codegen does not support model: " + model.name());
+
+  // The generated file is self-contained C99.
+  std::ostringstream body;
+  Emitter emitter{body, options, num_inputs};
+  const std::string top = emitter.emit_model(model);
+
+  os << "/* Generated by hmd (DAC'18 HMD reproduction).\n"
+     << " * Model: " << model.name() << "; inputs: " << num_inputs
+     << " HPC counters, Q" << (32 - options.fraction_bits) << "."
+     << options.fraction_bits << " fixed point.\n"
+     << " * int " << options.function_name
+     << "(const int32_t x[]) returns 1 = malware, 0 = benign.\n */\n"
+     << "#include <stdint.h>\n\n"
+     << body.str() << "int " << options.function_name
+     << "(const int32_t x[" << num_inputs << "]) {\n  return " << top
+     << "(x);\n}\n";
+}
+
+}  // namespace hmd::hw

@@ -1,0 +1,41 @@
+// HLS C code generation for trained detectors.
+//
+// The paper's hardware flow is "trained WEKA model → C implementation →
+// Vivado HLS → Virtex-7". This module performs the first arrow: it walks a
+// trained classifier and emits a self-contained, synthesis-friendly C
+// function (fixed-point arithmetic, no libc calls, no recursion, bounded
+// loops) that computes the same decision. Feed the output to any HLS tool
+// to obtain real implementation numbers next to the analytic estimates of
+// hw/resources.h.
+//
+// Supported model families: OneR, J48, REPTree, JRip, SGD, SMO, and
+// AdaBoost/Bagging ensembles of those. (BayesNet CPT tables and MLP
+// weights are exported as ROM arrays with an evaluation loop.)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/classifier.h"
+
+namespace hmd::hw {
+
+/// Fixed-point format used by the generated code.
+struct HlsOptions {
+  std::string function_name = "hmd_classify";
+  int fraction_bits = 8;  ///< inputs/constants scaled by 2^fraction_bits
+};
+
+/// Emit a C function `int <name>(const int32_t x[N])` returning 1 for
+/// malware, 0 for benign, implementing the trained `model`. `num_inputs`
+/// must match the model's training feature count.
+///
+/// Throws PreconditionError for untrained models or model families the
+/// generator does not support.
+void generate_hls_c(std::ostream& os, const ml::Classifier& model,
+                    std::size_t num_inputs, const HlsOptions& options = {});
+
+/// True if generate_hls_c supports this classifier (by name / structure).
+bool hls_supported(const ml::Classifier& model);
+
+}  // namespace hmd::hw

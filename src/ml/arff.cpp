@@ -1,0 +1,169 @@
+#include "ml/arff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace hmd::ml {
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out)
+    if (ch == ' ' || ch == ',' || ch == '\'') ch = '_';
+  return out;
+}
+
+double parse_number(const std::string& token) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    // Allow trailing whitespace only.
+    for (std::size_t i = consumed; i < token.size(); ++i)
+      if (!std::isspace(static_cast<unsigned char>(token[i])))
+        throw PreconditionError("trailing junk in ARFF number: " + token);
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw PreconditionError("malformed ARFF numeric value: " + token);
+  } catch (const std::out_of_range&) {
+    throw PreconditionError("ARFF numeric value out of range: " + token);
+  }
+}
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool iequal_prefix(const std::string& line, const char* keyword) {
+  std::size_t i = 0;
+  for (; keyword[i] != '\0'; ++i) {
+    if (i >= line.size() ||
+        std::tolower(static_cast<unsigned char>(line[i])) != keyword[i])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_arff(std::ostream& os, const Dataset& data,
+                const std::string& relation_name) {
+  bool weighted = false;
+  for (std::size_t i = 0; i < data.num_rows(); ++i)
+    if (data.weight(i) != 1.0) weighted = true;
+
+  os << "% Exported by the hmd library (DAC'18 HMD reproduction).\n";
+  os << "% rows=" << data.num_rows() << " features=" << data.num_features()
+     << "\n@RELATION " << sanitize(relation_name) << "\n\n";
+  for (std::size_t f = 0; f < data.num_features(); ++f)
+    os << "@ATTRIBUTE " << sanitize(data.feature_name(f)) << " NUMERIC\n";
+  os << "@ATTRIBUTE class {benign,malware}\n\n@DATA\n";
+
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    os << "% group " << data.group(i) << '\n';
+    const auto row = data.row(i);
+    for (double v : row) os << v << ',';
+    os << (data.label(i) == 1 ? "malware" : "benign");
+    if (weighted) os << ", {" << data.weight(i) << '}';
+    os << '\n';
+  }
+}
+
+Dataset read_arff(std::istream& is) {
+  std::vector<std::string> names;
+  bool saw_class = false;
+  bool in_data = false;
+  Dataset data;
+  std::string line;
+  std::size_t pending_group = 0;
+  bool have_pending_group = false;
+
+  while (std::getline(is, line)) {
+    line = trimmed(line);
+    if (line.empty()) continue;
+    if (line[0] == '%') {
+      // Recover the group annotation our writer emits.
+      std::istringstream cs(line.substr(1));
+      std::string word;
+      if (cs >> word && word == "group" && (cs >> pending_group))
+        have_pending_group = true;
+      continue;
+    }
+    if (!in_data) {
+      if (iequal_prefix(line, "@relation")) continue;
+      if (iequal_prefix(line, "@attribute")) {
+        std::istringstream as(line.substr(10));
+        std::string name, type;
+        as >> name >> type;
+        HMD_REQUIRE_MSG(!name.empty(), "ARFF attribute without a name");
+        std::string lower_type = type;
+        std::transform(lower_type.begin(), lower_type.end(),
+                       lower_type.begin(), ::tolower);
+        if (lower_type == "numeric" || lower_type == "real") {
+          HMD_REQUIRE_MSG(!saw_class,
+                          "numeric attribute after the class attribute");
+          names.push_back(name);
+        } else {
+          HMD_REQUIRE_MSG(!saw_class, "multiple nominal attributes");
+          saw_class = true;  // the {benign,malware} class
+        }
+        continue;
+      }
+      if (iequal_prefix(line, "@data")) {
+        HMD_REQUIRE_MSG(saw_class, "ARFF data without a class attribute");
+        HMD_REQUIRE_MSG(!names.empty(), "ARFF data without attributes");
+        data = Dataset(names);
+        in_data = true;
+        continue;
+      }
+      throw PreconditionError("unrecognised ARFF header line: " + line);
+    }
+
+    // Data row: v,v,...,class[, {w}]
+    std::vector<double> row;
+    std::string token;
+    std::istringstream ls(line);
+    for (std::size_t f = 0; f < names.size(); ++f) {
+      HMD_REQUIRE_MSG(std::getline(ls, token, ','),
+                      "ARFF row with too few values");
+      row.push_back(parse_number(token));
+    }
+    HMD_REQUIRE_MSG(std::getline(ls, token, ','), "ARFF row missing class");
+    const std::string cls = trimmed(token);
+    HMD_REQUIRE_MSG(cls == "malware" || cls == "benign",
+                    "unknown class value: " + cls);
+    double weight = 1.0;
+    if (std::getline(ls, token)) {
+      const auto open = token.find('{');
+      const auto close = token.find('}');
+      if (open != std::string::npos && close != std::string::npos)
+        weight = std::stod(token.substr(open + 1, close - open - 1));
+    }
+    data.add_row(std::move(row), cls == "malware" ? 1 : 0, weight,
+                 have_pending_group ? pending_group : 0);
+    have_pending_group = false;
+  }
+  HMD_REQUIRE_MSG(in_data, "stream contained no ARFF @DATA section");
+  return data;
+}
+
+void write_dataset_csv(std::ostream& os, const Dataset& data) {
+  for (std::size_t f = 0; f < data.num_features(); ++f)
+    os << sanitize(data.feature_name(f)) << ',';
+  os << "label\n" << std::setprecision(17);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    for (double v : data.row(i)) os << v << ',';
+    os << data.label(i) << '\n';
+  }
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,33 @@
+// ARFF (Attribute-Relation File Format) and CSV dataset I/O.
+//
+// The paper evaluates in WEKA; exporting our captured datasets as ARFF
+// lets anyone load them into actual WEKA and cross-check our classifier
+// implementations against the originals. Import exists so round-trip
+// tests can verify the writer and so externally produced HPC datasets
+// (real `perf stat` logs converted offline) can be pushed through the
+// same detectors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace hmd::ml {
+
+/// Write `data` as an ARFF relation: every feature a NUMERIC attribute,
+/// the label as a nominal {benign, malware} class attribute. Instance
+/// weights are emitted in ARFF's "{...}, {weight}" syntax only when some
+/// weight differs from 1. Group ids are recorded as a comment per row.
+void write_arff(std::ostream& os, const Dataset& data,
+                const std::string& relation_name = "hmd_hpc_samples");
+
+/// Parse an ARFF stream previously produced by write_arff (numeric
+/// attributes + final nominal class; '%' comments ignored).
+/// Throws PreconditionError on malformed input.
+Dataset read_arff(std::istream& is);
+
+/// Plain CSV with a header row; label column last ("label" = 0/1).
+void write_dataset_csv(std::ostream& os, const Dataset& data);
+
+}  // namespace hmd::ml

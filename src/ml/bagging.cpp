@@ -1,0 +1,69 @@
+#include "ml/bagging.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace hmd::ml {
+
+Bagging::Bagging(std::unique_ptr<Classifier> prototype, std::size_t bags,
+                 std::uint64_t seed)
+    : prototype_(std::move(prototype)), bags_(bags), seed_(seed) {
+  HMD_REQUIRE(prototype_ != nullptr);
+  HMD_REQUIRE(bags_ >= 1);
+}
+
+void Bagging::train(const Dataset& data) {
+  HMD_REQUIRE(data.num_rows() > 0);
+  members_.clear();
+  Rng rng(seed_);
+  for (std::size_t b = 0; b < bags_; ++b) {
+    Rng bag_rng = rng.fork(b);
+    const Dataset sample = data.bootstrap(bag_rng);
+    auto model = prototype_->clone_untrained();
+    model->train(sample);
+    members_.push_back(std::move(model));
+  }
+  trained_ = true;
+}
+
+double Bagging::predict_proba(std::span<const double> x) const {
+  HMD_REQUIRE_MSG(trained_, "Bagging::train() must be called first");
+  double acc = 0.0;
+  for (const auto& m : members_) acc += m->predict_proba(x);
+  return acc / static_cast<double>(members_.size());
+}
+
+std::unique_ptr<Classifier> Bagging::clone_untrained() const {
+  return std::make_unique<Bagging>(prototype_->clone_untrained(), bags_,
+                                   seed_);
+}
+
+std::string Bagging::name() const {
+  return "Bagging(" + prototype_->name() + ")";
+}
+
+ModelComplexity Bagging::complexity() const {
+  HMD_REQUIRE(trained_);
+  ModelComplexity mc;
+  mc.kind = "ensemble";
+  for (const auto& m : members_) {
+    mc.children.push_back(m->complexity());
+    mc.inputs = std::max(mc.inputs, mc.children.back().inputs);
+  }
+  mc.adders = members_.size();  // probability averaging tree
+  mc.comparators = 1;
+  std::size_t max_child_depth = 0;
+  for (const auto& c : mc.children)
+    max_child_depth = std::max(max_child_depth, c.depth);
+  std::size_t d = 0, n = std::max<std::size_t>(members_.size(), 1);
+  while (n > 1) {
+    n = (n + 1) / 2;
+    ++d;
+  }
+  mc.depth = max_child_depth + d + 1;
+  return mc;
+}
+
+}  // namespace hmd::ml

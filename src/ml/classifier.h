@@ -1,0 +1,104 @@
+// The binary-classifier interface implemented by all eight general learners
+// and the two ensemble meta-learners.
+//
+// All classifiers:
+//   * train on weighted instances (required by AdaBoost's re-weighting);
+//   * emit P(malware | x) from predict_proba() — learners that are
+//     inherently discrete (SMO, SGD with hinge loss) return near-hard
+//     probabilities, which is what makes their standalone AUC poor and is
+//     faithful to the WEKA behaviour the paper measured;
+//   * report a ModelComplexity describing their trained structure, which
+//     the hw library converts into FPGA area/latency (paper Table 3).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace hmd::ml {
+
+/// Structural complexity of a trained model, used for hardware costing.
+struct ModelComplexity {
+  std::string kind;             ///< "tree", "rules", "linear", "mlp", ...
+  std::size_t comparators = 0;  ///< threshold comparisons available in parallel
+  std::size_t adders = 0;       ///< accumulation operators
+  std::size_t multipliers = 0;  ///< MAC units (fixed-point multiplies)
+  std::size_t table_entries = 0;///< ROM/LUT-table words (CPTs, rule actions)
+  std::size_t nonlinearities = 0;///< activation evaluations (PWL sigmoid)
+  std::size_t depth = 0;        ///< sequential depth in "stages"
+  std::size_t inputs = 0;       ///< distinct features consumed
+  std::vector<ModelComplexity> children;  ///< ensemble members
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fit the model to `data` (respecting instance weights).
+  /// Requires data.num_rows() > 0 and both classes conventions documented
+  /// per classifier (single-class data trains a constant model).
+  virtual void train(const Dataset& data) = 0;
+
+  /// P(label == 1 | x). Only valid after train(). `x` must have the same
+  /// feature count as the training data.
+  virtual double predict_proba(std::span<const double> x) const = 0;
+
+  /// Hard decision at the 0.5 threshold.
+  int predict(std::span<const double> x) const {
+    return predict_proba(x) >= 0.5 ? 1 : 0;
+  }
+
+  /// A fresh untrained copy with identical hyper-parameters (used by the
+  /// ensemble meta-learners to spawn base models).
+  virtual std::unique_ptr<Classifier> clone_untrained() const = 0;
+
+  /// Display name (WEKA spelling: "J48", "JRip", "SMO", ...).
+  virtual std::string name() const = 0;
+
+  /// Structure of the trained model, for hardware costing.
+  virtual ModelComplexity complexity() const = 0;
+};
+
+/// The eight general ML classifiers studied by the paper.
+enum class ClassifierKind {
+  kBayesNet,
+  kJ48,
+  kJRip,
+  kMlp,
+  kOneR,
+  kRepTree,
+  kSgd,
+  kSmo,
+};
+
+inline constexpr std::size_t kClassifierKindCount = 8;
+
+/// The learner families compared across the whole evaluation.
+enum class EnsembleKind {
+  kGeneral,   ///< the base classifier alone
+  kAdaBoost,  ///< AdaBoost.M1 over the base classifier
+  kBagging,   ///< bootstrap aggregation over the base classifier
+};
+
+inline constexpr std::size_t kEnsembleKindCount = 3;
+
+std::string_view classifier_kind_name(ClassifierKind kind);
+std::string_view ensemble_kind_name(EnsembleKind kind);
+
+std::span<const ClassifierKind> all_classifier_kinds();
+std::span<const EnsembleKind> all_ensemble_kinds();
+
+/// Factory for a general classifier with paper/WEKA-default hyper-parameters.
+/// `seed` feeds any internal randomness (MLP init, fold shuffles).
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
+                                            std::uint64_t seed = 7);
+
+/// Factory for a full detector: base classifier wrapped per `ensemble`.
+std::unique_ptr<Classifier> make_detector(ClassifierKind kind,
+                                          EnsembleKind ensemble,
+                                          std::uint64_t seed = 7);
+
+}  // namespace hmd::ml

@@ -1,0 +1,78 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/check.h"
+
+namespace hmd::ml {
+
+CrossValidationResult cross_validate(const Classifier& prototype,
+                                     const Dataset& data, std::size_t k,
+                                     Rng& rng) {
+  HMD_REQUIRE(k >= 2);
+  HMD_REQUIRE(data.num_rows() > 0);
+
+  // Group id -> label; groups are label-pure (one application).
+  std::map<std::size_t, int> group_label;
+  for (std::size_t i = 0; i < data.num_rows(); ++i)
+    group_label[data.group(i)] = data.label(i);
+
+  std::vector<std::size_t> pos_groups, neg_groups;
+  for (const auto& [g, y] : group_label)
+    (y == 1 ? pos_groups : neg_groups).push_back(g);
+  HMD_REQUIRE_MSG(pos_groups.size() >= k && neg_groups.size() >= k,
+                  "need at least k applications per class");
+
+  auto shuffle = [&](std::vector<std::size_t>& v) {
+    for (std::size_t i = v.size(); i > 1; --i)
+      std::swap(v[i - 1], v[rng.below(i)]);
+  };
+  shuffle(pos_groups);
+  shuffle(neg_groups);
+
+  // Assign groups to folds round-robin, stratified.
+  std::map<std::size_t, std::size_t> fold_of;
+  for (std::size_t i = 0; i < pos_groups.size(); ++i)
+    fold_of[pos_groups[i]] = i % k;
+  for (std::size_t i = 0; i < neg_groups.size(); ++i)
+    fold_of[neg_groups[i]] = i % k;
+
+  CrossValidationResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    std::vector<std::size_t> train_rows, test_rows;
+    for (std::size_t i = 0; i < data.num_rows(); ++i)
+      (fold_of.at(data.group(i)) == fold ? test_rows : train_rows)
+          .push_back(i);
+    HMD_INVARIANT(!train_rows.empty() && !test_rows.empty());
+
+    auto model = prototype.clone_untrained();
+    model->train(data.subset(train_rows));
+    result.folds.push_back(
+        evaluate_detector(*model, data.subset(test_rows)));
+  }
+
+  const auto n = static_cast<double>(result.folds.size());
+  double acc = 0.0, auc = 0.0, perf = 0.0;
+  for (const auto& m : result.folds) {
+    acc += m.accuracy;
+    auc += m.auc;
+    perf += m.performance();
+  }
+  result.mean_accuracy = acc / n;
+  result.mean_auc = auc / n;
+  result.mean_performance = perf / n;
+  double va = 0.0, vu = 0.0;
+  for (const auto& m : result.folds) {
+    va += (m.accuracy - result.mean_accuracy) *
+          (m.accuracy - result.mean_accuracy);
+    vu += (m.auc - result.mean_auc) * (m.auc - result.mean_auc);
+  }
+  result.stddev_accuracy = n > 1 ? std::sqrt(va / (n - 1)) : 0.0;
+  result.stddev_auc = n > 1 ? std::sqrt(vu / (n - 1)) : 0.0;
+  return result;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,34 @@
+// Group-aware k-fold cross-validation.
+//
+// The paper uses a single 70/30 application split; cross-validation over
+// *applications* (never splitting one application's intervals across
+// folds) gives the same unknown-application discipline with variance
+// estimates — used by the robustness ablations.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace hmd::ml {
+
+/// Per-fold and aggregate results of a cross-validation run.
+struct CrossValidationResult {
+  std::vector<DetectorMetrics> folds;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  double mean_auc = 0.0;
+  double stddev_auc = 0.0;
+  double mean_performance = 0.0;  ///< mean of per-fold ACC×AUC
+};
+
+/// K-fold CV where folds partition *groups* (applications), stratified by
+/// class. The prototype is cloned untrained for every fold. Requires at
+/// least k groups per class.
+CrossValidationResult cross_validate(const Classifier& prototype,
+                                     const Dataset& data, std::size_t k,
+                                     Rng& rng);
+
+}  // namespace hmd::ml

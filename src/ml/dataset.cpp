@@ -1,0 +1,175 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.h"
+
+namespace hmd::ml {
+
+void Dataset::add_row(std::vector<double> x, int label, double weight,
+                      std::size_t group) {
+  HMD_REQUIRE(x.size() == feature_names_.size());
+  HMD_REQUIRE(label == 0 || label == 1);
+  HMD_REQUIRE(weight >= 0.0);
+  x_.push_back(std::move(x));
+  y_.push_back(label);
+  w_.push_back(weight);
+  group_.push_back(group);
+}
+
+std::vector<double> Dataset::column(std::size_t f) const {
+  HMD_REQUIRE(f < num_features());
+  std::vector<double> out;
+  out.reserve(num_rows());
+  for (const auto& row : x_) out.push_back(row[f]);
+  return out;
+}
+
+std::vector<double> Dataset::labels_as_double() const {
+  std::vector<double> out;
+  out.reserve(num_rows());
+  for (int y : y_) out.push_back(static_cast<double>(y));
+  return out;
+}
+
+double Dataset::total_weight() const {
+  double acc = 0.0;
+  for (double w : w_) acc += w;
+  return acc;
+}
+
+double Dataset::positive_weight() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < num_rows(); ++i)
+    if (y_[i] == 1) acc += w_[i];
+  return acc;
+}
+
+void Dataset::set_weights(std::vector<double> w) {
+  HMD_REQUIRE(w.size() == num_rows());
+  for (double v : w) HMD_REQUIRE(v >= 0.0);
+  w_ = std::move(w);
+}
+
+void Dataset::normalize_weights() {
+  const double total = total_weight();
+  HMD_REQUIRE_MSG(total > 0.0, "cannot normalize zero-weight dataset");
+  const double scale = static_cast<double>(num_rows()) / total;
+  for (double& w : w_) w *= scale;
+}
+
+Dataset Dataset::select_features(std::span<const std::size_t> features) const {
+  std::vector<std::string> names;
+  names.reserve(features.size());
+  for (std::size_t f : features) {
+    HMD_REQUIRE(f < num_features());
+    names.push_back(feature_names_[f]);
+  }
+  Dataset out(std::move(names));
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    std::vector<double> row;
+    row.reserve(features.size());
+    for (std::size_t f : features) row.push_back(x_[i][f]);
+    out.add_row(std::move(row), y_[i], w_[i], group_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> rows) const {
+  Dataset out(feature_names_);
+  for (std::size_t i : rows) {
+    HMD_REQUIRE(i < num_rows());
+    out.add_row(x_[i], y_[i], w_[i], group_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::bootstrap(Rng& rng) const {
+  HMD_REQUIRE(num_rows() > 0);
+  std::vector<std::size_t> rows(num_rows());
+  for (auto& r : rows) r = rng.below(num_rows());
+  Dataset out = subset(rows);
+  // A bootstrap replicate carries fresh unit weights.
+  out.set_weights(std::vector<double>(out.num_rows(), 1.0));
+  return out;
+}
+
+Dataset Dataset::weighted_bootstrap(Rng& rng) const {
+  HMD_REQUIRE(num_rows() > 0);
+  // Cumulative weights for inverse-CDF sampling.
+  std::vector<double> cum(num_rows());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    acc += w_[i];
+    cum[i] = acc;
+  }
+  HMD_REQUIRE_MSG(acc > 0.0, "all instance weights are zero");
+  std::vector<std::size_t> rows;
+  rows.reserve(num_rows());
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    const double r = rng.uniform(0.0, acc);
+    const auto it = std::lower_bound(cum.begin(), cum.end(), r);
+    rows.push_back(static_cast<std::size_t>(it - cum.begin()));
+  }
+  Dataset out = subset(rows);
+  out.set_weights(std::vector<double>(out.num_rows(), 1.0));
+  return out;
+}
+
+Split stratified_group_split(const Dataset& data, double train_frac,
+                             Rng& rng) {
+  HMD_REQUIRE(train_frac > 0.0 && train_frac < 1.0);
+  HMD_REQUIRE(data.num_rows() > 0);
+
+  // Group id -> label (groups are assumed label-pure: one application).
+  std::set<std::size_t> benign_groups, malware_groups;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    (data.label(i) == 1 ? malware_groups : benign_groups)
+        .insert(data.group(i));
+  }
+
+  auto pick_train = [&](const std::set<std::size_t>& groups) {
+    std::vector<std::size_t> ids(groups.begin(), groups.end());
+    // Fisher-Yates with our deterministic RNG.
+    for (std::size_t i = ids.size(); i > 1; --i)
+      std::swap(ids[i - 1], ids[rng.below(i)]);
+    const auto n_train = static_cast<std::size_t>(
+        std::max(1.0, train_frac * static_cast<double>(ids.size())));
+    return std::set<std::size_t>(ids.begin(),
+                                 ids.begin() + std::min(n_train, ids.size()));
+  };
+  const std::set<std::size_t> train_benign = pick_train(benign_groups);
+  const std::set<std::size_t> train_malware = pick_train(malware_groups);
+
+  std::vector<std::size_t> train_rows, test_rows;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const bool in_train = data.label(i) == 1
+                              ? train_malware.contains(data.group(i))
+                              : train_benign.contains(data.group(i));
+    (in_train ? train_rows : test_rows).push_back(i);
+  }
+  HMD_INVARIANT(!train_rows.empty());
+  return Split{data.subset(train_rows), data.subset(test_rows)};
+}
+
+std::vector<std::vector<std::size_t>> stratified_row_folds(const Dataset& data,
+                                                           std::size_t k,
+                                                           Rng& rng) {
+  HMD_REQUIRE(k >= 2);
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < data.num_rows(); ++i)
+    (data.label(i) == 1 ? pos : neg).push_back(i);
+  auto shuffle = [&](std::vector<std::size_t>& v) {
+    for (std::size_t i = v.size(); i > 1; --i)
+      std::swap(v[i - 1], v[rng.below(i)]);
+  };
+  shuffle(pos);
+  shuffle(neg);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < pos.size(); ++i) folds[i % k].push_back(pos[i]);
+  for (std::size_t i = 0; i < neg.size(); ++i) folds[i % k].push_back(neg[i]);
+  return folds;
+}
+
+}  // namespace hmd::ml

@@ -1,0 +1,100 @@
+// Dataset container for the ML layer: a weighted, labelled feature matrix
+// with application-group structure.
+//
+// Rows are 10 ms HPC samples; the `group` of a row is the application it was
+// captured from. The paper's 70/30 split is *per application* ("70% benign-
+// 70% malware application for training (known applications) and 30% ...
+// for testing (unknown applications)"), so the split helpers here operate on
+// groups, never on raw rows — a detector is always evaluated on applications
+// it has never seen.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace hmd::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Construct with feature names; rows are added with add_row().
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  void add_row(std::vector<double> x, int label, double weight = 1.0,
+               std::size_t group = 0);
+
+  std::size_t num_rows() const { return x_.size(); }
+  std::size_t num_features() const { return feature_names_.size(); }
+  bool empty() const { return x_.empty(); }
+
+  std::span<const double> row(std::size_t i) const { return x_[i]; }
+  int label(std::size_t i) const { return y_[i]; }
+  double weight(std::size_t i) const { return w_[i]; }
+  std::size_t group(std::size_t i) const { return group_[i]; }
+  const std::string& feature_name(std::size_t f) const {
+    return feature_names_[f];
+  }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// All values of one feature column (copy).
+  std::vector<double> column(std::size_t f) const;
+
+  /// Labels as doubles (for correlation computations).
+  std::vector<double> labels_as_double() const;
+
+  double total_weight() const;
+  double positive_weight() const;  ///< total weight of label-1 rows
+
+  /// Replace all instance weights (AdaBoost re-weighting).
+  void set_weights(std::vector<double> w);
+
+  /// Normalise weights to sum to num_rows (WEKA convention).
+  void normalize_weights();
+
+  /// New dataset keeping only the given feature columns, in order.
+  Dataset select_features(std::span<const std::size_t> features) const;
+
+  /// New dataset with the given rows (indices may repeat — bootstrap).
+  Dataset subset(std::span<const std::size_t> rows) const;
+
+  /// Bootstrap sample of the same size, drawn uniformly with replacement.
+  Dataset bootstrap(Rng& rng) const;
+
+  /// Weighted bootstrap: rows drawn with probability proportional to their
+  /// current weights; the result has unit weights (AdaBoost-with-resampling).
+  Dataset weighted_bootstrap(Rng& rng) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> x_;
+  std::vector<int> y_;
+  std::vector<double> w_;
+  std::vector<std::size_t> group_;
+};
+
+/// Train/test partition.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Stratified split at application granularity: `train_frac` of the benign
+/// apps and `train_frac` of the malware apps (by distinct group id) go to
+/// training; every row of a held-out app goes to test.
+Split stratified_group_split(const Dataset& data, double train_frac, Rng& rng);
+
+/// K roughly equal folds of *rows* (stratified by label) for internal
+/// grow/prune splits inside classifiers (REPTree, JRip).
+std::vector<std::vector<std::size_t>> stratified_row_folds(const Dataset& data,
+                                                           std::size_t k,
+                                                           Rng& rng);
+
+}  // namespace hmd::ml

@@ -1,0 +1,181 @@
+#include "ml/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace hmd::ml {
+namespace {
+
+constexpr double kLog2 = 0.6931471805599453;  // ln(2)
+
+double log2_safe(double v) { return v <= 0.0 ? 0.0 : std::log(v) / kLog2; }
+
+struct SortedSample {
+  double value;
+  int label;
+  double weight;
+};
+
+std::vector<SortedSample> sorted_samples(std::span<const double> values,
+                                         std::span<const int> labels,
+                                         std::span<const double> weights) {
+  HMD_REQUIRE(values.size() == labels.size());
+  HMD_REQUIRE(weights.empty() || weights.size() == values.size());
+  std::vector<SortedSample> out;
+  out.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out.push_back({values[i], labels[i], weights.empty() ? 1.0 : weights[i]});
+  std::sort(out.begin(), out.end(),
+            [](const SortedSample& a, const SortedSample& b) {
+              return a.value < b.value;
+            });
+  return out;
+}
+
+struct Counts {
+  double pos = 0.0;
+  double neg = 0.0;
+  double total() const { return pos + neg; }
+  double entropy() const { return binary_entropy(pos, neg); }
+  int classes() const {
+    return (pos > 0.0 ? 1 : 0) + (neg > 0.0 ? 1 : 0);
+  }
+};
+
+/// Recursive MDL splitting of samples[lo, hi).
+void mdl_split(const std::vector<SortedSample>& s, std::size_t lo,
+               std::size_t hi, std::vector<double>& cuts) {
+  if (hi - lo < 4) return;  // too few samples to justify a split
+
+  Counts all;
+  for (std::size_t i = lo; i < hi; ++i)
+    (s[i].label == 1 ? all.pos : all.neg) += s[i].weight;
+  if (all.classes() < 2) return;
+
+  // Scan boundary candidates (value changes) for the entropy-minimising cut.
+  double best_entropy = 1e300;
+  std::size_t best_index = 0;  // split between best_index-1 and best_index
+  Counts left_best, right_best;
+
+  Counts left;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    (s[i - 1].label == 1 ? left.pos : left.neg) += s[i - 1].weight;
+    if (s[i].value == s[i - 1].value) continue;  // not a boundary
+    Counts right{all.pos - left.pos, all.neg - left.neg};
+    const double wl = left.total() / all.total();
+    const double wr = right.total() / all.total();
+    const double e = wl * left.entropy() + wr * right.entropy();
+    if (e < best_entropy) {
+      best_entropy = e;
+      best_index = i;
+      left_best = left;
+      right_best = right;
+    }
+  }
+  if (best_index == 0) return;  // attribute constant on this range
+
+  // Fayyad–Irani MDL acceptance criterion.
+  const double n = all.total();
+  const double ent_all = all.entropy();
+  const double gain = ent_all - best_entropy;
+  const double k = all.classes();
+  const double k1 = left_best.classes();
+  const double k2 = right_best.classes();
+  const double delta = log2_safe(std::pow(3.0, k) - 2.0) -
+                       (k * ent_all - k1 * left_best.entropy() -
+                        k2 * right_best.entropy());
+  const double threshold = (log2_safe(n - 1.0) + delta) / n;
+  if (gain <= threshold) return;
+
+  const double cut = (s[best_index - 1].value + s[best_index].value) / 2.0;
+  mdl_split(s, lo, best_index, cuts);
+  cuts.push_back(cut);
+  mdl_split(s, best_index, hi, cuts);
+}
+
+}  // namespace
+
+Discretizer::Discretizer(std::vector<double> cuts) : cuts_(std::move(cuts)) {
+  HMD_REQUIRE(std::is_sorted(cuts_.begin(), cuts_.end()));
+}
+
+std::size_t Discretizer::bin(double v) const {
+  // First cut strictly greater than v == count of cuts <= v.
+  return static_cast<std::size_t>(
+      std::upper_bound(cuts_.begin(), cuts_.end(), v) - cuts_.begin());
+}
+
+double binary_entropy(double w_pos, double w_neg) {
+  // Tolerate tiny negative residues from cumulative-subtraction callers.
+  HMD_REQUIRE(w_pos >= -1e-6 && w_neg >= -1e-6);
+  w_pos = std::max(w_pos, 0.0);
+  w_neg = std::max(w_neg, 0.0);
+  const double total = w_pos + w_neg;
+  if (total <= 0.0 || w_pos <= 0.0 || w_neg <= 0.0) return 0.0;
+  const double p = w_pos / total;
+  return -(p * log2_safe(p) + (1.0 - p) * log2_safe(1.0 - p));
+}
+
+Discretizer mdl_discretize(std::span<const double> values,
+                           std::span<const int> labels,
+                           std::span<const double> weights) {
+  const auto s = sorted_samples(values, labels, weights);
+  std::vector<double> cuts;
+  if (!s.empty()) mdl_split(s, 0, s.size(), cuts);
+  std::sort(cuts.begin(), cuts.end());
+  return Discretizer(std::move(cuts));
+}
+
+Discretizer equal_frequency_discretize(std::span<const double> values,
+                                       std::size_t bins) {
+  HMD_REQUIRE(bins >= 1);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cuts;
+  if (sorted.empty() || bins == 1) return Discretizer{};
+  for (std::size_t b = 1; b < bins; ++b) {
+    const std::size_t idx = b * sorted.size() / bins;
+    if (idx == 0 || idx >= sorted.size()) continue;
+    // A cut between equal values would create an unreachable bin.
+    if (sorted[idx] <= sorted[idx - 1]) continue;
+    const double cut = (sorted[idx - 1] + sorted[idx]) / 2.0;
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  return Discretizer(std::move(cuts));
+}
+
+double information_gain(const Discretizer& disc,
+                        std::span<const double> values,
+                        std::span<const int> labels,
+                        std::span<const double> weights) {
+  HMD_REQUIRE(values.size() == labels.size());
+  HMD_REQUIRE(weights.empty() || weights.size() == values.size());
+  const std::size_t bins = disc.num_bins();
+  std::vector<double> pos(bins, 0.0), neg(bins, 0.0);
+  double all_pos = 0.0, all_neg = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const std::size_t b = disc.bin(values[i]);
+    if (labels[i] == 1) {
+      pos[b] += w;
+      all_pos += w;
+    } else {
+      neg[b] += w;
+      all_neg += w;
+    }
+  }
+  const double total = all_pos + all_neg;
+  if (total <= 0.0) return 0.0;
+  double cond = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double wb = pos[b] + neg[b];
+    if (wb <= 0.0) continue;
+    cond += wb / total * binary_entropy(pos[b], neg[b]);
+  }
+  return binary_entropy(all_pos, all_neg) - cond;
+}
+
+}  // namespace hmd::ml

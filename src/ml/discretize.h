@@ -1,0 +1,53 @@
+// Attribute discretization: Fayyad–Irani MDL (supervised) and
+// equal-frequency binning.
+//
+// Used by BayesNet (its conditional probability tables are over discretized
+// HPC values), by OneR (bucket construction), and by the information-gain
+// attribute evaluator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hmd::ml {
+
+/// A set of ascending cut points defining num_cuts()+1 bins.
+class Discretizer {
+ public:
+  Discretizer() = default;
+  explicit Discretizer(std::vector<double> cuts);
+
+  /// Bin index of a value: number of cuts strictly below it.
+  std::size_t bin(double v) const;
+
+  std::size_t num_bins() const { return cuts_.size() + 1; }
+  const std::vector<double>& cuts() const { return cuts_; }
+
+ private:
+  std::vector<double> cuts_;  ///< ascending
+};
+
+/// Weighted Shannon entropy (bits) of a binary class distribution.
+double binary_entropy(double w_pos, double w_neg);
+
+/// Fayyad–Irani MDL-principled recursive discretization of one attribute
+/// against binary labels. Returns no cuts when no split passes the MDL
+/// criterion (the attribute is then useless to BayesNet — same as WEKA).
+Discretizer mdl_discretize(std::span<const double> values,
+                           std::span<const int> labels,
+                           std::span<const double> weights);
+
+/// Unsupervised equal-frequency binning with `bins` target bins
+/// (duplicate boundaries are merged, so fewer bins may result).
+Discretizer equal_frequency_discretize(std::span<const double> values,
+                                       std::size_t bins);
+
+/// Information gain (bits) of splitting `labels` by the discretizer's bins —
+/// the InfoGainAttributeEval score for the attribute.
+double information_gain(const Discretizer& disc,
+                        std::span<const double> values,
+                        std::span<const int> labels,
+                        std::span<const double> weights);
+
+}  // namespace hmd::ml

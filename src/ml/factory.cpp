@@ -1,0 +1,109 @@
+// Classifier factory: maps the paper's classifier/ensemble taxonomy onto
+// concrete instances with WEKA-default hyper-parameters.
+#include <array>
+
+#include "ml/adaboost.h"
+#include "ml/bagging.h"
+#include "ml/bayesnet.h"
+#include "ml/classifier.h"
+#include "ml/j48.h"
+#include "ml/jrip.h"
+#include "ml/mlp.h"
+#include "ml/oner.h"
+#include "ml/reptree.h"
+#include "ml/sgd.h"
+#include "ml/smo.h"
+#include "support/check.h"
+
+namespace hmd::ml {
+namespace {
+
+constexpr std::array<ClassifierKind, kClassifierKindCount> kAllClassifiers = {
+    ClassifierKind::kBayesNet, ClassifierKind::kJ48,
+    ClassifierKind::kJRip,     ClassifierKind::kMlp,
+    ClassifierKind::kOneR,     ClassifierKind::kRepTree,
+    ClassifierKind::kSgd,      ClassifierKind::kSmo,
+};
+
+constexpr std::array<EnsembleKind, kEnsembleKindCount> kAllEnsembles = {
+    EnsembleKind::kGeneral,
+    EnsembleKind::kAdaBoost,
+    EnsembleKind::kBagging,
+};
+
+}  // namespace
+
+std::string_view classifier_kind_name(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kBayesNet: return "BayesNet";
+    case ClassifierKind::kJ48: return "J48";
+    case ClassifierKind::kJRip: return "JRip";
+    case ClassifierKind::kMlp: return "MLP";
+    case ClassifierKind::kOneR: return "OneR";
+    case ClassifierKind::kRepTree: return "REPTree";
+    case ClassifierKind::kSgd: return "SGD";
+    case ClassifierKind::kSmo: return "SMO";
+  }
+  throw PreconditionError("unknown classifier kind");
+}
+
+std::string_view ensemble_kind_name(EnsembleKind kind) {
+  switch (kind) {
+    case EnsembleKind::kGeneral: return "General";
+    case EnsembleKind::kAdaBoost: return "Boosted";
+    case EnsembleKind::kBagging: return "Bagging";
+  }
+  throw PreconditionError("unknown ensemble kind");
+}
+
+std::span<const ClassifierKind> all_classifier_kinds() {
+  return kAllClassifiers;
+}
+
+std::span<const EnsembleKind> all_ensemble_kinds() { return kAllEnsembles; }
+
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
+                                            std::uint64_t seed) {
+  switch (kind) {
+    case ClassifierKind::kBayesNet:
+      return std::make_unique<BayesNet>();
+    case ClassifierKind::kJ48:
+      return std::make_unique<J48>();
+    case ClassifierKind::kJRip:
+      return std::make_unique<JRip>(/*optimize_passes=*/2,
+                                    /*min_rule_weight=*/2.0, seed);
+    case ClassifierKind::kMlp:
+      return std::make_unique<Mlp>(/*hidden=*/0, /*learning_rate=*/0.3,
+                                   /*momentum=*/0.2, /*epochs=*/300, seed);
+    case ClassifierKind::kOneR:
+      return std::make_unique<OneR>();
+    case ClassifierKind::kRepTree:
+      return std::make_unique<RepTree>(/*min_leaf_weight=*/2.0,
+                                       /*num_folds=*/3, /*max_depth=*/0,
+                                       seed);
+    case ClassifierKind::kSgd:
+      return std::make_unique<Sgd>(/*lambda=*/1e-4, /*epochs=*/100, seed);
+    case ClassifierKind::kSmo:
+      return std::make_unique<Smo>(/*c=*/1.0, /*tolerance=*/1e-3,
+                                   /*max_passes=*/8, seed);
+  }
+  throw PreconditionError("unknown classifier kind");
+}
+
+std::unique_ptr<Classifier> make_detector(ClassifierKind kind,
+                                          EnsembleKind ensemble,
+                                          std::uint64_t seed) {
+  auto base = make_classifier(kind, seed);
+  switch (ensemble) {
+    case EnsembleKind::kGeneral:
+      return base;
+    case EnsembleKind::kAdaBoost:
+      return std::make_unique<AdaBoostM1>(std::move(base), /*iterations=*/10,
+                                          seed);
+    case EnsembleKind::kBagging:
+      return std::make_unique<Bagging>(std::move(base), /*bags=*/10, seed);
+  }
+  throw PreconditionError("unknown ensemble kind");
+}
+
+}  // namespace hmd::ml

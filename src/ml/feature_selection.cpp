@@ -1,0 +1,93 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/discretize.h"
+#include "support/check.h"
+#include "support/stats.h"
+
+namespace hmd::ml {
+namespace {
+
+std::vector<FeatureScore> sort_scores(std::vector<FeatureScore> scores) {
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const FeatureScore& a, const FeatureScore& b) {
+                     return a.score > b.score;
+                   });
+  return scores;
+}
+
+}  // namespace
+
+std::vector<FeatureScore> correlation_ranking(const Dataset& data) {
+  HMD_REQUIRE(data.num_rows() > 1);
+  const std::vector<double> y = data.labels_as_double();
+  std::vector<double> w;
+  w.reserve(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i)
+    w.push_back(data.weight(i));
+
+  std::vector<FeatureScore> scores;
+  scores.reserve(data.num_features());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    const std::vector<double> col = data.column(f);
+    scores.push_back({f, std::fabs(weighted_pearson(col, y, w))});
+  }
+  return sort_scores(std::move(scores));
+}
+
+std::vector<FeatureScore> info_gain_ranking(const Dataset& data) {
+  HMD_REQUIRE(data.num_rows() > 1);
+  std::vector<int> labels;
+  std::vector<double> weights;
+  labels.reserve(data.num_rows());
+  weights.reserve(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    labels.push_back(data.label(i));
+    weights.push_back(data.weight(i));
+  }
+
+  std::vector<FeatureScore> scores;
+  scores.reserve(data.num_features());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    const std::vector<double> col = data.column(f);
+    const Discretizer disc = mdl_discretize(col, labels, weights);
+    scores.push_back({f, information_gain(disc, col, labels, weights)});
+  }
+  return sort_scores(std::move(scores));
+}
+
+std::vector<FeatureScore> prune_redundant(
+    const Dataset& data, const std::vector<FeatureScore>& ranking,
+    double max_abs_corr) {
+  HMD_REQUIRE(max_abs_corr > 0.0 && max_abs_corr <= 1.0);
+  std::vector<FeatureScore> kept;
+  std::vector<std::vector<double>> kept_cols;
+  for (const FeatureScore& fs : ranking) {
+    const std::vector<double> col = data.column(fs.feature);
+    bool redundant = false;
+    for (const auto& other : kept_cols) {
+      if (std::fabs(pearson(col, other)) >= max_abs_corr) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) {
+      kept.push_back(fs);
+      kept_cols.push_back(col);
+    }
+  }
+  return kept;
+}
+
+std::vector<std::size_t> top_k_features(
+    const std::vector<FeatureScore>& ranking, std::size_t k) {
+  HMD_REQUIRE(k >= 1 && k <= ranking.size());
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(ranking[i].feature);
+  return out;
+}
+
+}  // namespace hmd::ml

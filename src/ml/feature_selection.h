@@ -1,0 +1,45 @@
+// Feature reduction — the "Correlation Analysis & Attribute Evaluation +
+// Feature Scoring" stage of the paper's Figure 2.
+//
+// The paper scores the 44 captured events with WEKA's Correlation Attribute
+// Evaluation, ranks them, and keeps the 16 most important (paper Table 1);
+// detectors are then built on the top {16, 8, 4, 2}. We implement the same
+// evaluator (|Pearson correlation with the class|) plus an information-gain
+// evaluator for cross-checking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace hmd::ml {
+
+struct FeatureScore {
+  std::size_t feature = 0;  ///< column index in the scored dataset
+  double score = 0.0;
+};
+
+/// WEKA CorrelationAttributeEval: rank features by the absolute value of
+/// the Pearson correlation between the feature and the {0,1} class.
+/// Result is sorted by descending score (ties broken by column order).
+std::vector<FeatureScore> correlation_ranking(const Dataset& data);
+
+/// InfoGainAttributeEval: MDL-discretize each feature, rank by information
+/// gain about the class.
+std::vector<FeatureScore> info_gain_ranking(const Dataset& data);
+
+/// The top-k feature indices of a ranking, in rank order.
+std::vector<std::size_t> top_k_features(const std::vector<FeatureScore>& ranking,
+                                        std::size_t k);
+
+/// Redundancy filter on a ranking: walk in rank order, dropping any feature
+/// whose absolute Pearson correlation with an already-kept feature exceeds
+/// `max_abs_corr`. Removes the degenerate duplicates a raw correlation
+/// ranker keeps (e.g. cpu_cycles / ref_cycles / bus_cycles, which are the
+/// same signal), the way a human analyst curates the WEKA ranker output.
+std::vector<FeatureScore> prune_redundant(const Dataset& data,
+                                          const std::vector<FeatureScore>& ranking,
+                                          double max_abs_corr = 0.90);
+
+}  // namespace hmd::ml

@@ -1,0 +1,62 @@
+// Evaluation metrics for the malware detectors: accuracy, confusion,
+// ROC curves, AUC, and the paper's combined ACC×AUC "performance" metric.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace hmd::ml {
+
+/// Weighted confusion matrix for binary classification.
+struct Confusion {
+  double tp = 0.0, fp = 0.0, tn = 0.0, fn = 0.0;
+
+  double total() const { return tp + fp + tn + fn; }
+  double accuracy() const;
+  double tpr() const;        ///< recall / sensitivity
+  double fpr() const;        ///< fall-out
+  double precision() const;
+  double f1() const;
+};
+
+/// Score the classifier over a dataset at the 0.5 threshold.
+Confusion evaluate_confusion(const Classifier& clf, const Dataset& data);
+
+/// A point on the ROC curve at a given decision threshold.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// Full ROC curve from scores (higher = more malware-like). The curve is
+/// sorted by ascending FPR and includes the (0,0) and (1,1) endpoints.
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const int> labels,
+                                std::span<const double> weights = {});
+
+/// Trapezoidal area under a curve from roc_curve().
+double auc_from_curve(std::span<const RocPoint> curve);
+
+/// AUC via the weighted rank statistic (handles ties — crucial for
+/// classifiers that emit near-hard scores, like SMO/SGD).
+double auc(std::span<const double> scores, std::span<const int> labels,
+           std::span<const double> weights = {});
+
+/// Everything the paper reports per detector.
+struct DetectorMetrics {
+  double accuracy = 0.0;     ///< fraction correctly classified
+  double auc = 0.0;          ///< robustness (area under the ROC curve)
+  double performance() const { return accuracy * auc; }  ///< ACC×AUC
+};
+
+/// Collect scores over `data` and compute accuracy + AUC in one pass.
+DetectorMetrics evaluate_detector(const Classifier& clf, const Dataset& data);
+
+/// Scores of a classifier over a dataset (P(malware) per row).
+std::vector<double> score_dataset(const Classifier& clf, const Dataset& data);
+
+}  // namespace hmd::ml

@@ -1,0 +1,82 @@
+// Application behaviour profiles: the statistical "program" the Machine
+// executes.
+//
+// The paper runs >100 real benign applications (MiBench, system tools,
+// browsers, editors) and Linux malware (ELFs, python/perl/bash scripts).
+// We cannot ship malware, so each application is modelled as a sequence of
+// *phases*, each phase a distribution over instruction mix, control-flow
+// predictability, code/data footprint, kernel-crossing rate, and OS noise.
+// The Machine turns a phase into a synthetic instruction trace and runs it
+// through real (functional) cache / TLB / branch-predictor models, so the
+// resulting 44 event counts carry the cross-event structure a real PMU
+// would see (e.g. context switches inflate TLB misses because the TLBs are
+// actually flushed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmd::sim {
+
+/// One steady-state behaviour regime of an application.
+struct PhaseSpec {
+  std::string name = "phase";
+  double weight = 1.0;  ///< relative share of intervals spent in this phase
+
+  // Instruction stream volume per 10 ms interval (scaled-down trace window).
+  double instructions_mean = 12000.0;
+  double instructions_jitter = 0.14;  ///< relative lognormal jitter
+
+  // Instruction mix (fractions of the dynamic stream; the rest is ALU).
+  double frac_branch = 0.16;
+  double frac_load = 0.24;
+  double frac_store = 0.09;
+
+  // Control flow.
+  double branch_bias = 0.88;      ///< mean per-site taken (or not) skew
+  double branch_noise = 0.04;     ///< per-dynamic-branch outcome randomness
+  double code_jump_spread = 0.15; ///< P(taken branch leaves the current page)
+
+  // Code footprint.
+  std::uint32_t code_pages = 6;
+  std::uint32_t blocks_per_page = 16;
+
+  // Data footprint.
+  std::uint32_t data_pages = 48;
+  double hot_fraction = 0.12;    ///< share of data pages forming the hot set
+  double hot_access_prob = 0.85; ///< P(access targets the hot set)
+  double sequential_prob = 0.65; ///< P(streaming access | hot set)
+  std::uint32_t stride_bytes = 64;
+  double store_scatter = 0.25;   ///< P(store targets a random cold page)
+  double numa_remote_frac = 0.08;///< share of memory traffic to remote node
+
+  // Kernel interaction: each syscall executes a burst of kernel-space
+  // instructions (separate code/data pages), which competes for the same
+  // TLBs and caches.
+  double syscalls_per_kilo_instr = 0.4;
+  double kernel_burst_instr = 220.0;
+
+  // OS / software event rates (expected count per interval).
+  double context_switch_rate = 0.4;
+  double migration_rate = 0.01;
+  double minor_fault_rate = 0.8;
+  double major_fault_rate = 0.005;
+  double alignment_fault_rate = 0.0;
+  double emulation_fault_rate = 0.0;
+};
+
+/// A complete application: an identity plus its phase script.
+struct AppProfile {
+  std::string name;
+  bool is_malware = false;
+  std::string family;     ///< e.g. "mibench", "scanner", "ransomware"
+  std::uint64_t seed = 1; ///< per-application stream for all randomness
+  std::vector<PhaseSpec> phases;
+
+  /// Intervals captured per run (the paper samples every 10 ms for the life
+  /// of the application; we use a fixed window per app).
+  std::uint32_t intervals = 24;
+};
+
+}  // namespace hmd::sim

@@ -1,0 +1,115 @@
+#include "sim/branch_predictor.h"
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace hmd::sim {
+
+std::string_view branch_predictor_kind_name(BranchPredictorKind kind) {
+  switch (kind) {
+    case BranchPredictorKind::kGshare: return "gshare";
+    case BranchPredictorKind::kBimodal: return "bimodal";
+    case BranchPredictorKind::kLocalHistory: return "local";
+    case BranchPredictorKind::kTournament: return "tournament";
+  }
+  throw PreconditionError("unknown branch predictor kind");
+}
+
+BranchPredictor::BranchPredictor(BranchPredictorConfig cfg)
+    : cfg_(cfg), btb_(cfg.btb) {
+  HMD_REQUIRE(cfg_.history_bits >= 1 && cfg_.history_bits <= 24);
+  const std::size_t entries = std::size_t{1} << cfg_.history_bits;
+  mask_ = entries - 1;
+  gshare_counters_.assign(entries, 1);  // weakly not-taken
+  bimodal_counters_.assign(entries, 1);
+  local_history_.assign(entries, 0);
+  local_counters_.assign(entries, 1);
+  chooser_.assign(entries, 2);  // weakly favour gshare
+}
+
+std::size_t BranchPredictor::gshare_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>((mix64(pc) ^ history_) & mask_);
+}
+
+std::size_t BranchPredictor::pc_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>(mix64(pc) & mask_);
+}
+
+std::size_t BranchPredictor::local_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>(
+      (local_history_[pc_index(pc)] ^ mix64(pc * 3)) & mask_);
+}
+
+bool BranchPredictor::predict_gshare(std::uint64_t pc) const {
+  return gshare_counters_[gshare_index(pc)] >= 2;
+}
+
+bool BranchPredictor::predict_bimodal(std::uint64_t pc) const {
+  return bimodal_counters_[pc_index(pc)] >= 2;
+}
+
+bool BranchPredictor::predict_local(std::uint64_t pc) const {
+  return local_counters_[local_index(pc)] >= 2;
+}
+
+void BranchPredictor::update_tables(std::uint64_t pc, bool taken) {
+  auto bump = [taken](std::uint8_t& ctr) {
+    if (taken && ctr < 3) ++ctr;
+    if (!taken && ctr > 0) --ctr;
+  };
+  bump(gshare_counters_[gshare_index(pc)]);
+  bump(bimodal_counters_[pc_index(pc)]);
+  bump(local_counters_[local_index(pc)]);
+  std::uint64_t& lh = local_history_[pc_index(pc)];
+  lh = ((lh << 1) | (taken ? 1u : 0u)) & mask_;
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask_;
+}
+
+bool BranchPredictor::execute(std::uint64_t pc, bool taken) {
+  ++branches_;
+  last_btb_hit_ = btb_.access(pc);
+
+  bool predicted_taken = false;
+  switch (cfg_.kind) {
+    case BranchPredictorKind::kGshare:
+      predicted_taken = predict_gshare(pc);
+      break;
+    case BranchPredictorKind::kBimodal:
+      predicted_taken = predict_bimodal(pc);
+      break;
+    case BranchPredictorKind::kLocalHistory:
+      predicted_taken = predict_local(pc);
+      break;
+    case BranchPredictorKind::kTournament: {
+      const bool g = predict_gshare(pc);
+      const bool b = predict_bimodal(pc);
+      predicted_taken = chooser_[pc_index(pc)] >= 2 ? g : b;
+      // Train the chooser toward whichever component was right.
+      if (g != b) {
+        std::uint8_t& ch = chooser_[pc_index(pc)];
+        if (g == taken && ch < 3) ++ch;
+        if (b == taken && ch > 0) --ch;
+      }
+      break;
+    }
+  }
+  const bool correct = predicted_taken == taken;
+  if (!correct) ++direction_misses_;
+  update_tables(pc, taken);
+  return correct;
+}
+
+void BranchPredictor::reset() {
+  gshare_counters_.assign(gshare_counters_.size(), 1);
+  bimodal_counters_.assign(bimodal_counters_.size(), 1);
+  local_history_.assign(local_history_.size(), 0);
+  local_counters_.assign(local_counters_.size(), 1);
+  chooser_.assign(chooser_.size(), 2);
+  history_ = 0;
+  btb_.reset();
+  last_btb_hit_ = false;
+  branches_ = 0;
+  direction_misses_ = 0;
+}
+
+}  // namespace hmd::sim

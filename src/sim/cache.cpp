@@ -1,0 +1,180 @@
+#include "sim/cache.h"
+
+namespace hmd::sim {
+
+namespace {
+constexpr bool is_pow2(std::uint32_t v) { return v && (v & (v - 1)) == 0; }
+}  // namespace
+
+std::string_view replacement_policy_name(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru: return "LRU";
+    case ReplacementPolicy::kFifo: return "FIFO";
+    case ReplacementPolicy::kRandom: return "random";
+    case ReplacementPolicy::kTreePlru: return "tree-PLRU";
+  }
+  throw PreconditionError("unknown replacement policy");
+}
+
+Cache::Cache(CacheGeometry geo) : geo_(geo) {
+  HMD_REQUIRE_MSG(is_pow2(geo_.sets), "cache sets must be a power of two");
+  HMD_REQUIRE(geo_.ways >= 1);
+  HMD_REQUIRE(is_pow2(geo_.line_bytes));
+  lines_.resize(static_cast<std::size_t>(geo_.sets) * geo_.ways);
+  plru_applicable_ =
+      geo_.policy == ReplacementPolicy::kTreePlru && is_pow2(geo_.ways);
+  if (plru_applicable_) plru_.assign(geo_.sets, 0);
+}
+
+std::size_t Cache::pick_victim(std::size_t set, std::size_t base) {
+  // Invalid way first, under every policy.
+  for (std::size_t w = 0; w < geo_.ways; ++w)
+    if (!lines_[base + w].valid) return base + w;
+
+  switch (geo_.policy) {
+    case ReplacementPolicy::kRandom: {
+      rand_state_ = rand_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      return base + ((rand_state_ >> 33) % geo_.ways);
+    }
+    case ReplacementPolicy::kTreePlru:
+      if (plru_applicable_) {
+        // Walk the tree: each bit says which half was touched less recently.
+        std::uint32_t bits = plru_[set];
+        std::size_t node = 0;  // index within the implicit tree
+        std::size_t lo = 0, span = geo_.ways;
+        while (span > 1) {
+          const bool right = (bits >> node) & 1u;
+          span /= 2;
+          if (right) lo += span;
+          node = 2 * node + 1 + (right ? 1 : 0);
+        }
+        return base + lo;
+      }
+      [[fallthrough]];
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      // Both use the stamp; FIFO simply never refreshes it on hits.
+      std::size_t victim = base;
+      std::uint64_t oldest = ~0ULL;
+      for (std::size_t w = 0; w < geo_.ways; ++w) {
+        if (lines_[base + w].stamp < oldest) {
+          oldest = lines_[base + w].stamp;
+          victim = base + w;
+        }
+      }
+      return victim;
+    }
+  }
+  throw InvariantError("unreachable replacement policy");
+}
+
+void Cache::touch(std::size_t set, std::size_t base, std::size_t way,
+                  bool is_insert) {
+  ++tick_;
+  Line& line = lines_[base + way];
+  switch (geo_.policy) {
+    case ReplacementPolicy::kLru:
+      line.stamp = tick_;
+      break;
+    case ReplacementPolicy::kFifo:
+      if (is_insert) line.stamp = tick_;
+      break;
+    case ReplacementPolicy::kRandom:
+      break;
+    case ReplacementPolicy::kTreePlru:
+      if (plru_applicable_) {
+        // Flip the path bits away from the touched way.
+        std::uint32_t& bits = plru_[set];
+        std::size_t node = 0;
+        std::size_t lo = 0, span = geo_.ways;
+        while (span > 1) {
+          span /= 2;
+          const bool right = way >= lo + span;
+          // Point the bit at the *other* half.
+          if (right) {
+            bits &= ~(1u << node);
+            lo += span;
+          } else {
+            bits |= (1u << node);
+          }
+          node = 2 * node + 1 + (right ? 1 : 0);
+        }
+      } else {
+        line.stamp = tick_;
+      }
+      break;
+  }
+}
+
+bool Cache::access(std::uint64_t address) {
+  ++accesses_;
+  const std::size_t set = set_index(address);
+  const std::size_t base = set * geo_.ways;
+  const std::uint64_t tag = tag_of(address);
+
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      touch(set, base, w, /*is_insert=*/false);
+      return true;
+    }
+  }
+  ++misses_;
+  const std::size_t victim = pick_victim(set, base);
+  lines_[victim] = Line{tag, 0, true};
+  touch(set, base, victim - base, /*is_insert=*/true);
+  return false;
+}
+
+bool Cache::probe(std::uint64_t address) const {
+  const std::size_t base = set_index(address) * geo_.ways;
+  const std::uint64_t tag = tag_of(address);
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    const Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::fill(std::uint64_t address) {
+  const std::size_t set = set_index(address);
+  const std::size_t base = set * geo_.ways;
+  const std::uint64_t tag = tag_of(address);
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      touch(set, base, w, /*is_insert=*/false);
+      return;  // already present
+    }
+  }
+  const std::size_t victim = pick_victim(set, base);
+  lines_[victim] = Line{tag, 0, true};
+  touch(set, base, victim - base, /*is_insert=*/true);
+}
+
+void Cache::reset() {
+  flush();
+  tick_ = 0;
+  accesses_ = 0;
+  misses_ = 0;
+  rand_state_ = 0x9E3779B97F4A7C15ULL;
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) line.valid = false;
+  if (plru_applicable_) plru_.assign(geo_.sets, 0);
+}
+
+void Cache::pollute(double fraction, std::uint64_t mix) {
+  if (fraction <= 0.0) return;
+  const auto threshold = static_cast<std::uint64_t>(
+      fraction * 1024.0);  // fraction in 1/1024 units
+  std::uint64_t h = mix | 1;
+  for (Line& line : lines_) {
+    // Cheap LCG walk; quality is irrelevant for eviction noise.
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((h >> 33) % 1024 < threshold) line.valid = false;
+  }
+}
+
+}  // namespace hmd::sim

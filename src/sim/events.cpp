@@ -1,0 +1,96 @@
+#include "sim/events.h"
+
+#include <string>
+
+#include "support/check.h"
+
+namespace hmd::sim {
+namespace {
+
+struct EventMeta {
+  std::string_view name;
+  EventUnit unit;
+};
+
+constexpr std::array<EventMeta, kEventCount> kMeta = {{
+    {"cpu_cycles", EventUnit::kPipeline},
+    {"instructions", EventUnit::kPipeline},
+    {"cache_references", EventUnit::kLlc},
+    {"cache_misses", EventUnit::kLlc},
+    {"branch_instructions", EventUnit::kBranchUnit},
+    {"branch_misses", EventUnit::kBranchUnit},
+    {"bus_cycles", EventUnit::kPipeline},
+    {"ref_cycles", EventUnit::kPipeline},
+    {"stalled_cycles_frontend", EventUnit::kPipeline},
+    {"stalled_cycles_backend", EventUnit::kPipeline},
+    {"L1_dcache_loads", EventUnit::kL1Dcache},
+    {"L1_dcache_load_misses", EventUnit::kL1Dcache},
+    {"L1_dcache_stores", EventUnit::kL1Dcache},
+    {"L1_dcache_store_misses", EventUnit::kL1Dcache},
+    {"L1_dcache_prefetches", EventUnit::kL1Dcache},
+    {"L1_icache_loads", EventUnit::kL1Icache},
+    {"L1_icache_load_misses", EventUnit::kL1Icache},
+    {"LLC_loads", EventUnit::kLlc},
+    {"LLC_load_misses", EventUnit::kLlc},
+    {"LLC_stores", EventUnit::kLlc},
+    {"LLC_store_misses", EventUnit::kLlc},
+    {"LLC_prefetches", EventUnit::kLlc},
+    {"LLC_prefetch_misses", EventUnit::kLlc},
+    {"dTLB_loads", EventUnit::kDtlb},
+    {"dTLB_load_misses", EventUnit::kDtlb},
+    {"dTLB_stores", EventUnit::kDtlb},
+    {"dTLB_store_misses", EventUnit::kDtlb},
+    {"iTLB_loads", EventUnit::kItlb},
+    {"iTLB_load_misses", EventUnit::kItlb},
+    {"branch_loads", EventUnit::kBranchUnit},
+    {"branch_load_misses", EventUnit::kBranchUnit},
+    {"node_loads", EventUnit::kNode},
+    {"node_load_misses", EventUnit::kNode},
+    {"node_stores", EventUnit::kNode},
+    {"node_store_misses", EventUnit::kNode},
+    {"node_prefetches", EventUnit::kNode},
+    {"node_prefetch_misses", EventUnit::kNode},
+    {"page_faults", EventUnit::kSoftware},
+    {"context_switches", EventUnit::kSoftware},
+    {"cpu_migrations", EventUnit::kSoftware},
+    {"minor_faults", EventUnit::kSoftware},
+    {"major_faults", EventUnit::kSoftware},
+    {"alignment_faults", EventUnit::kSoftware},
+    {"emulation_faults", EventUnit::kSoftware},
+}};
+
+constexpr std::array<Event, kEventCount> make_all() {
+  std::array<Event, kEventCount> out{};
+  for (std::size_t i = 0; i < kEventCount; ++i)
+    out[i] = static_cast<Event>(i);
+  return out;
+}
+constexpr auto kAll = make_all();
+
+}  // namespace
+
+std::string_view event_name(Event e) {
+  const auto idx = static_cast<std::size_t>(e);
+  HMD_REQUIRE(idx < kEventCount);
+  return kMeta[idx].name;
+}
+
+Event event_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kEventCount; ++i)
+    if (kMeta[i].name == name) return static_cast<Event>(i);
+  throw PreconditionError("unknown perf event name: " + std::string(name));
+}
+
+EventUnit event_unit(Event e) {
+  const auto idx = static_cast<std::size_t>(e);
+  HMD_REQUIRE(idx < kEventCount);
+  return kMeta[idx].unit;
+}
+
+bool is_software_event(Event e) {
+  return event_unit(e) == EventUnit::kSoftware;
+}
+
+std::span<const Event> all_events() { return kAll; }
+
+}  // namespace hmd::sim

@@ -1,0 +1,772 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace hmd::sim {
+namespace {
+
+// --- per-instance jitter helpers -----------------------------------------
+
+double jit(Rng& rng, double v, double rel) {
+  return v * std::exp(rng.gaussian(0.0, rel));
+}
+
+std::uint32_t jit_u(Rng& rng, std::uint32_t v, double rel) {
+  const double j = jit(rng, static_cast<double>(v), rel);
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(j)));
+}
+
+double clampp(double v, double lo, double hi) {
+  return std::clamp(v, lo, hi);
+}
+
+/// Apply bounded multiplicative jitter to every tunable of a phase.
+void jitter_phase(PhaseSpec& ph, Rng& rng) {
+  ph.instructions_mean = jit(rng, ph.instructions_mean, 0.10);
+  ph.frac_branch = clampp(jit(rng, ph.frac_branch, 0.08), 0.02, 0.40);
+  ph.frac_load = clampp(jit(rng, ph.frac_load, 0.07), 0.05, 0.45);
+  ph.frac_store = clampp(jit(rng, ph.frac_store, 0.10), 0.01, 0.30);
+  ph.branch_bias = clampp(jit(rng, ph.branch_bias, 0.035), 0.55, 0.99);
+  ph.branch_noise = clampp(jit(rng, ph.branch_noise, 0.20), 0.0, 0.45);
+  ph.code_jump_spread = clampp(jit(rng, ph.code_jump_spread, 0.15), 0.0, 0.9);
+  ph.code_pages = jit_u(rng, ph.code_pages, 0.15);
+  ph.data_pages = jit_u(rng, ph.data_pages, 0.15);
+  ph.hot_fraction = clampp(jit(rng, ph.hot_fraction, 0.15), 0.01, 0.9);
+  ph.hot_access_prob = clampp(jit(rng, ph.hot_access_prob, 0.06), 0.1, 0.99);
+  ph.sequential_prob = clampp(jit(rng, ph.sequential_prob, 0.10), 0.0, 0.99);
+  ph.store_scatter = clampp(jit(rng, ph.store_scatter, 0.15), 0.0, 0.95);
+  ph.numa_remote_frac = clampp(jit(rng, ph.numa_remote_frac, 0.25), 0.0, 0.6);
+  ph.syscalls_per_kilo_instr = jit(rng, ph.syscalls_per_kilo_instr, 0.25);
+  ph.kernel_burst_instr = jit(rng, ph.kernel_burst_instr, 0.15);
+  ph.context_switch_rate = jit(rng, ph.context_switch_rate, 0.30);
+  ph.migration_rate = jit(rng, ph.migration_rate, 0.30);
+  ph.minor_fault_rate = jit(rng, ph.minor_fault_rate, 0.30);
+  ph.major_fault_rate = jit(rng, ph.major_fault_rate, 0.30);
+}
+
+// --- template table --------------------------------------------------------
+
+struct Template {
+  const char* name;
+  const char* family;
+  std::function<std::vector<PhaseSpec>()> phases;
+};
+
+/// Shorthand phase builder: start from defaults, tweak via lambda.
+PhaseSpec phase(const char* name, const std::function<void(PhaseSpec&)>& fn) {
+  PhaseSpec ph;
+  ph.name = name;
+  fn(ph);
+  return ph;
+}
+
+const std::vector<Template>& benign_templates() {
+  static const std::vector<Template> kTemplates = {
+      {"mibench.qsort", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("sort", [](PhaseSpec& p) {
+           p.instructions_mean = 13000;
+           p.frac_branch = 0.18;
+           p.frac_load = 0.26;
+           p.frac_store = 0.10;
+           p.branch_bias = 0.80;
+           p.branch_noise = 0.07;
+           p.code_pages = 3;
+           p.data_pages = 60;
+           p.hot_fraction = 0.2;
+           p.sequential_prob = 0.40;
+           p.syscalls_per_kilo_instr = 0.2;
+         })};
+       }},
+      {"mibench.dijkstra", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("relax", [](PhaseSpec& p) {
+           p.instructions_mean = 11000;
+           p.frac_branch = 0.16;
+           p.frac_load = 0.30;
+           p.frac_store = 0.07;
+           p.branch_bias = 0.86;
+           p.data_pages = 60;
+           p.hot_fraction = 0.12;
+           p.hot_access_prob = 0.7;
+           p.sequential_prob = 0.20;
+           p.syscalls_per_kilo_instr = 0.2;
+         })};
+       }},
+      {"mibench.sha", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("rounds", [](PhaseSpec& p) {
+           p.instructions_mean = 15000;
+           p.frac_branch = 0.10;
+           p.frac_load = 0.18;
+           p.frac_store = 0.06;
+           p.branch_bias = 0.95;
+           p.branch_noise = 0.01;
+           p.code_pages = 2;
+           p.data_pages = 8;
+           p.hot_fraction = 0.5;
+           p.sequential_prob = 0.9;
+           p.syscalls_per_kilo_instr = 0.1;
+           p.context_switch_rate = 0.2;
+         })};
+       }},
+      {"mibench.cjpeg", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("encode", [](PhaseSpec& p) {
+           p.instructions_mean = 13500;
+           p.frac_branch = 0.13;
+           p.frac_load = 0.27;
+           p.frac_store = 0.12;
+           p.branch_bias = 0.90;
+           p.data_pages = 90;
+           p.hot_fraction = 0.2;
+           p.sequential_prob = 0.85;
+           p.stride_bytes = 8;
+           p.syscalls_per_kilo_instr = 0.3;
+         })};
+       }},
+      {"mibench.fft", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("butterfly", [](PhaseSpec& p) {
+           p.instructions_mean = 14000;
+           p.frac_branch = 0.09;
+           p.frac_load = 0.30;
+           p.frac_store = 0.14;
+           p.branch_bias = 0.93;
+           p.branch_noise = 0.02;
+           p.data_pages = 150;
+           p.hot_fraction = 0.3;
+           p.sequential_prob = 0.8;
+           p.stride_bytes = 512;
+           p.syscalls_per_kilo_instr = 0.15;
+         })};
+       }},
+      {"mibench.stringsearch", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("scan", [](PhaseSpec& p) {
+           p.instructions_mean = 12500;
+           p.frac_branch = 0.21;
+           p.frac_load = 0.30;
+           p.frac_store = 0.04;
+           p.branch_bias = 0.88;
+           p.branch_noise = 0.06;
+           p.data_pages = 20;
+           p.hot_fraction = 0.4;
+           p.sequential_prob = 0.75;
+           p.syscalls_per_kilo_instr = 0.2;
+         })};
+       }},
+      {"mibench.susan", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("edges", [](PhaseSpec& p) {
+           p.instructions_mean = 13000;
+           p.frac_branch = 0.12;
+           p.frac_load = 0.29;
+           p.frac_store = 0.11;
+           p.branch_bias = 0.91;
+           p.data_pages = 110;
+           p.hot_fraction = 0.25;
+           p.sequential_prob = 0.8;
+           p.stride_bytes = 16;
+           p.syscalls_per_kilo_instr = 0.25;
+         })};
+       }},
+      {"mibench.basicmath", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("math", [](PhaseSpec& p) {
+           p.instructions_mean = 14500;
+           p.frac_branch = 0.08;
+           p.frac_load = 0.15;
+           p.frac_store = 0.05;
+           p.branch_bias = 0.94;
+           p.branch_noise = 0.015;
+           p.code_pages = 2;
+           p.data_pages = 6;
+           p.hot_fraction = 0.6;
+           p.syscalls_per_kilo_instr = 0.1;
+         })};
+       }},
+      {"mibench.bitcount", "mibench",
+       [] {
+         return std::vector<PhaseSpec>{phase("bits", [](PhaseSpec& p) {
+           p.instructions_mean = 15500;
+           p.frac_branch = 0.12;
+           p.frac_load = 0.12;
+           p.frac_store = 0.03;
+           p.branch_bias = 0.97;
+           p.branch_noise = 0.005;
+           p.code_pages = 1;
+           p.data_pages = 4;
+           p.hot_fraction = 0.8;
+           p.syscalls_per_kilo_instr = 0.05;
+         })};
+       }},
+      {"mibench.patricia", "mibench",
+       [] {
+         // Trie walking: benign but deliberately TLB-unfriendly.
+         return std::vector<PhaseSpec>{phase("trie", [](PhaseSpec& p) {
+           p.instructions_mean = 11500;
+           p.frac_branch = 0.17;
+           p.frac_load = 0.33;
+           p.frac_store = 0.05;
+           p.branch_bias = 0.84;
+           p.data_pages = 120;
+           p.hot_fraction = 0.10;
+           p.hot_access_prob = 0.6;
+           p.sequential_prob = 0.1;
+           p.syscalls_per_kilo_instr = 0.2;
+         })};
+       }},
+      {"typeset.latex", "desktop",
+       [] {
+         return std::vector<PhaseSpec>{phase("layout", [](PhaseSpec& p) {
+           p.instructions_mean = 12000;
+           p.frac_branch = 0.16;
+           p.frac_load = 0.26;
+           p.frac_store = 0.09;
+           p.branch_noise = 0.05;
+           p.code_pages = 30;
+           p.code_jump_spread = 0.32;
+           p.data_pages = 120;
+           p.hot_fraction = 0.12;
+           p.syscalls_per_kilo_instr = 1.0;
+           p.context_switch_rate = 0.8;
+         })};
+       }},
+      {"devtools.compiler", "desktop",
+       [] {
+         // Hard benign: big branchy code footprint, overlaps script malware.
+         return std::vector<PhaseSpec>{phase("compile", [](PhaseSpec& p) {
+           p.instructions_mean = 12500;
+           p.frac_branch = 0.21;
+           p.frac_load = 0.27;
+           p.frac_store = 0.10;
+           p.branch_bias = 0.82;
+           p.branch_noise = 0.08;
+           p.code_pages = 40;
+           p.code_jump_spread = 0.35;
+           p.data_pages = 150;
+           p.hot_fraction = 0.1;
+           p.sequential_prob = 0.3;
+           p.syscalls_per_kilo_instr = 1.5;
+           p.context_switch_rate = 1.0;
+           p.minor_fault_rate = 3.0;
+         })};
+       }},
+      {"desktop.browser", "desktop",
+       [] {
+         // Hard benign: syscall/ctx heavy with a large code image.
+         return std::vector<PhaseSpec>{phase("render", [](PhaseSpec& p) {
+           p.instructions_mean = 11000;
+           p.frac_branch = 0.20;
+           p.frac_load = 0.27;
+           p.frac_store = 0.11;
+           p.branch_noise = 0.07;
+           p.code_pages = 60;
+           p.code_jump_spread = 0.3;
+           p.data_pages = 200;
+           p.hot_fraction = 0.08;
+           p.syscalls_per_kilo_instr = 3.5;
+           p.kernel_burst_instr = 250;
+           p.context_switch_rate = 3.0;
+           p.migration_rate = 0.05;
+           p.minor_fault_rate = 4.0;
+         })};
+       }},
+      {"desktop.editor", "desktop",
+       [] {
+         return std::vector<PhaseSpec>{phase("edit", [](PhaseSpec& p) {
+           p.instructions_mean = 6000;
+           p.frac_branch = 0.15;
+           p.frac_load = 0.24;
+           p.frac_store = 0.08;
+           p.code_pages = 20;
+           p.code_jump_spread = 0.30;
+           p.data_pages = 40;
+           p.syscalls_per_kilo_instr = 3.0;
+           p.context_switch_rate = 2.0;
+         })};
+       }},
+      {"desktop.wordproc", "desktop",
+       [] {
+         return std::vector<PhaseSpec>{phase("layout", [](PhaseSpec& p) {
+           p.instructions_mean = 9000;
+           p.frac_branch = 0.16;
+           p.frac_load = 0.25;
+           p.frac_store = 0.10;
+           p.code_pages = 35;
+           p.code_jump_spread = 0.30;
+           p.data_pages = 90;
+           p.syscalls_per_kilo_instr = 3.0;
+           p.context_switch_rate = 1.5;
+         })};
+       }},
+      {"system.shellutils", "system",
+       [] {
+         // Hard benign: grep/find-style syscall storms.
+         return std::vector<PhaseSpec>{phase("walk", [](PhaseSpec& p) {
+           p.instructions_mean = 8000;
+           p.frac_branch = 0.20;
+           p.frac_load = 0.28;
+           p.frac_store = 0.06;
+           p.branch_noise = 0.05;
+           p.code_pages = 12;
+           p.data_pages = 60;
+           p.syscalls_per_kilo_instr = 7.0;
+           p.kernel_burst_instr = 200;
+           p.context_switch_rate = 2.5;
+           p.minor_fault_rate = 5.0;
+         })};
+       }},
+      {"system.gzip", "system",
+       [] {
+         // Streaming compressor: heavy stores, benign (vs. ransomware).
+         return std::vector<PhaseSpec>{phase("deflate", [](PhaseSpec& p) {
+           p.instructions_mean = 13000;
+           p.frac_branch = 0.12;
+           p.frac_load = 0.28;
+           p.frac_store = 0.18;
+           p.branch_bias = 0.9;
+           p.data_pages = 100;
+           p.hot_fraction = 0.2;
+           p.sequential_prob = 0.9;
+           p.syscalls_per_kilo_instr = 1.0;
+         })};
+       }},
+      {"system.sqlite", "system",
+       [] {
+         return std::vector<PhaseSpec>{phase("query", [](PhaseSpec& p) {
+           p.instructions_mean = 10500;
+           p.frac_branch = 0.17;
+           p.frac_load = 0.29;
+           p.frac_store = 0.09;
+           p.branch_noise = 0.05;
+           p.code_pages = 25;
+           p.code_jump_spread = 0.28;
+           p.data_pages = 120;
+           p.hot_fraction = 0.15;
+           p.sequential_prob = 0.35;
+           p.syscalls_per_kilo_instr = 3.5;
+           p.context_switch_rate = 1.2;
+         })};
+       }},
+  };
+  return kTemplates;
+}
+
+const std::vector<Template>& malware_templates() {
+  static const std::vector<Template> kTemplates = {
+      {"mal.portscanner", "scanner",
+       [] {
+         return std::vector<PhaseSpec>{phase("probe", [](PhaseSpec& p) {
+           p.instructions_mean = 9000;
+           p.frac_branch = 0.19;
+           p.frac_load = 0.25;
+           p.frac_store = 0.08;
+           p.branch_bias = 0.84;
+           p.branch_noise = 0.06;
+           p.code_pages = 14;
+           p.code_jump_spread = 0.3;
+           p.data_pages = 90;
+           p.hot_fraction = 0.06;
+           p.syscalls_per_kilo_instr = 7.0;
+           p.kernel_burst_instr = 300;
+           p.context_switch_rate = 4.0;
+           p.numa_remote_frac = 0.15;
+         })};
+       }},
+      {"mal.synflood", "dos",
+       [] {
+         return std::vector<PhaseSpec>{phase("flood", [](PhaseSpec& p) {
+           p.instructions_mean = 8000;
+           p.frac_branch = 0.18;
+           p.frac_load = 0.22;
+           p.frac_store = 0.12;
+           p.branch_noise = 0.06;
+           p.code_pages = 10;
+           p.code_jump_spread = 0.3;
+           p.data_pages = 50;
+           p.hot_fraction = 0.08;
+           p.syscalls_per_kilo_instr = 8.0;
+           p.kernel_burst_instr = 350;
+           p.context_switch_rate = 6.0;
+         })};
+       }},
+      {"mal.forkstorm", "dos",
+       [] {
+         return std::vector<PhaseSpec>{phase("spawn", [](PhaseSpec& p) {
+           p.instructions_mean = 7000;
+           p.frac_branch = 0.19;
+           p.frac_load = 0.24;
+           p.frac_store = 0.11;
+           p.branch_noise = 0.07;
+           p.code_pages = 20;
+           p.code_jump_spread = 0.38;
+           p.data_pages = 70;
+           p.syscalls_per_kilo_instr = 7.0;
+           p.context_switch_rate = 7.0;
+           p.migration_rate = 0.3;
+           p.minor_fault_rate = 25.0;
+           p.major_fault_rate = 0.1;
+         })};
+       }},
+      {"mal.cryptominer", "miner",
+       [] {
+         // Hard malware: compute kernel that resembles mibench.sha.
+         return std::vector<PhaseSpec>{phase("hash", [](PhaseSpec& p) {
+           p.instructions_mean = 14500;
+           p.frac_branch = 0.14;
+           p.frac_load = 0.20;
+           p.frac_store = 0.07;
+           p.branch_bias = 0.93;
+           p.branch_noise = 0.035;
+           p.code_pages = 3;
+           p.data_pages = 10;
+           p.hot_fraction = 0.5;
+           p.sequential_prob = 0.85;
+           p.syscalls_per_kilo_instr = 0.8;
+           p.context_switch_rate = 0.6;
+         })};
+       }},
+      {"mal.ransomware", "ransomware",
+       [] {
+         return std::vector<PhaseSpec>{
+             phase("scan", [](PhaseSpec& p) {
+               p.weight = 1.0;
+               p.instructions_mean = 9000;
+               p.frac_branch = 0.17;
+               p.frac_load = 0.30;
+               p.frac_store = 0.06;
+               p.branch_noise = 0.07;
+               p.code_pages = 16;
+               p.data_pages = 250;
+               p.hot_fraction = 0.05;
+               p.sequential_prob = 0.2;
+               p.syscalls_per_kilo_instr = 4.0;
+               p.minor_fault_rate = 8.0;
+             }),
+             phase("encrypt", [](PhaseSpec& p) {
+               p.weight = 3.0;
+               p.instructions_mean = 12500;
+               p.frac_branch = 0.12;
+               p.frac_load = 0.30;
+               p.frac_store = 0.22;
+               p.branch_noise = 0.05;
+               p.code_pages = 10;
+               p.data_pages = 300;
+               p.hot_fraction = 0.1;
+               p.sequential_prob = 0.8;
+               p.store_scatter = 0.4;
+               p.syscalls_per_kilo_instr = 3.0;
+               p.numa_remote_frac = 0.12;
+             })};
+       }},
+      {"mal.spyware", "spyware",
+       [] {
+         return std::vector<PhaseSpec>{phase("poll", [](PhaseSpec& p) {
+           p.instructions_mean = 5000;
+           p.frac_branch = 0.20;
+           p.frac_load = 0.26;
+           p.frac_store = 0.09;
+           p.branch_noise = 0.06;
+           p.code_pages = 15;
+           p.code_jump_spread = 0.3;
+           p.data_pages = 70;
+           p.hot_fraction = 0.08;
+           p.syscalls_per_kilo_instr = 6.0;
+           p.kernel_burst_instr = 180;
+           p.context_switch_rate = 5.0;
+         })};
+       }},
+      {"mal.botbeacon", "botnet",
+       [] {
+         // Medium-hard: mostly idle, periodic bursty network phases.
+         return std::vector<PhaseSpec>{
+             phase("idle", [](PhaseSpec& p) {
+               p.weight = 2.0;
+               p.instructions_mean = 4000;
+               p.frac_branch = 0.18;
+               p.frac_load = 0.23;
+               p.frac_store = 0.07;
+               p.code_pages = 10;
+               p.data_pages = 20;
+               p.syscalls_per_kilo_instr = 3.0;
+               p.context_switch_rate = 2.0;
+             }),
+             phase("burst", [](PhaseSpec& p) {
+               p.weight = 1.0;
+               p.instructions_mean = 10000;
+               p.frac_branch = 0.20;
+               p.frac_load = 0.25;
+               p.frac_store = 0.10;
+               p.branch_noise = 0.10;
+               p.code_pages = 16;
+               p.code_jump_spread = 0.4;
+               p.data_pages = 40;
+               p.syscalls_per_kilo_instr = 7.0;
+               p.context_switch_rate = 5.0;
+               p.numa_remote_frac = 0.2;
+             })};
+       }},
+      {"mal.rootkit", "rootkit",
+       [] {
+         return std::vector<PhaseSpec>{phase("hook", [](PhaseSpec& p) {
+           p.instructions_mean = 8500;
+           p.frac_branch = 0.17;
+           p.frac_load = 0.26;
+           p.frac_store = 0.10;
+           p.branch_noise = 0.06;
+           p.code_pages = 10;
+           p.data_pages = 50;
+           p.syscalls_per_kilo_instr = 8.0;
+           p.kernel_burst_instr = 300;
+           p.context_switch_rate = 3.0;
+         })};
+       }},
+      {"mal.worm", "worm",
+       [] {
+         return std::vector<PhaseSpec>{
+             phase("scan", [](PhaseSpec& p) {
+               p.weight = 1.5;
+               p.instructions_mean = 9000;
+               p.frac_branch = 0.21;
+               p.frac_load = 0.24;
+               p.frac_store = 0.08;
+               p.branch_noise = 0.08;
+               p.code_pages = 18;
+               p.code_jump_spread = 0.35;
+               p.data_pages = 35;
+               p.syscalls_per_kilo_instr = 6.0;
+               p.context_switch_rate = 4.0;
+               p.numa_remote_frac = 0.18;
+             }),
+             phase("copy", [](PhaseSpec& p) {
+               p.weight = 1.0;
+               p.instructions_mean = 11000;
+               p.frac_branch = 0.16;
+               p.frac_load = 0.30;
+               p.frac_store = 0.20;
+               p.data_pages = 200;
+               p.hot_fraction = 0.1;
+               p.sequential_prob = 0.7;
+               p.syscalls_per_kilo_instr = 4.0;
+             })};
+       }},
+      {"mal.dropper", "dropper",
+       [] {
+         // Unpacker: scattered self-written code → iTLB / L1I pressure.
+         return std::vector<PhaseSpec>{phase("unpack", [](PhaseSpec& p) {
+           p.instructions_mean = 10000;
+           p.frac_branch = 0.22;
+           p.frac_load = 0.26;
+           p.frac_store = 0.18;
+           p.branch_bias = 0.78;
+           p.branch_noise = 0.09;
+           p.code_pages = 30;
+           p.code_jump_spread = 0.40;
+           p.data_pages = 120;
+           p.hot_fraction = 0.08;
+           p.store_scatter = 0.5;
+           p.syscalls_per_kilo_instr = 5.0;
+           p.minor_fault_rate = 15.0;
+         })};
+       }},
+      {"mal.perlbot", "scriptbot",
+       [] {
+         // Interpreter dispatch loop: extremely branchy, scattered code.
+         return std::vector<PhaseSpec>{phase("interp", [](PhaseSpec& p) {
+           p.instructions_mean = 9500;
+           p.frac_branch = 0.30;
+           p.frac_load = 0.30;
+           p.frac_store = 0.10;
+           p.branch_bias = 0.74;
+           p.branch_noise = 0.07;
+           p.code_pages = 24;
+           p.code_jump_spread = 0.3;
+           p.data_pages = 90;
+           p.hot_fraction = 0.25;
+           p.sequential_prob = 0.3;
+           p.syscalls_per_kilo_instr = 1.5;
+           p.context_switch_rate = 1.2;
+         })};
+       }},
+      {"mal.pythonbot", "scriptbot",
+       [] {
+         return std::vector<PhaseSpec>{phase("interp", [](PhaseSpec& p) {
+           p.instructions_mean = 9500;
+           p.frac_branch = 0.28;
+           p.frac_load = 0.31;
+           p.frac_store = 0.11;
+           p.branch_bias = 0.74;
+           p.branch_noise = 0.08;
+           p.code_pages = 28;
+           p.code_jump_spread = 0.28;
+           p.data_pages = 110;
+           p.hot_fraction = 0.2;
+           p.sequential_prob = 0.35;
+           p.syscalls_per_kilo_instr = 1.5;
+           p.context_switch_rate = 1.2;
+           p.minor_fault_rate = 4.0;
+         })};
+       }},
+      {"mal.adware", "adware",
+       [] {
+         return std::vector<PhaseSpec>{phase("inject", [](PhaseSpec& p) {
+           p.instructions_mean = 8500;
+           p.frac_branch = 0.21;
+           p.frac_load = 0.26;
+           p.frac_store = 0.11;
+           p.branch_noise = 0.07;
+           p.code_pages = 28;
+           p.code_jump_spread = 0.35;
+           p.data_pages = 80;
+           p.syscalls_per_kilo_instr = 5.5;
+           p.context_switch_rate = 3.5;
+         })};
+       }},
+      {"mal.infostealer", "stealer",
+       [] {
+         return std::vector<PhaseSpec>{
+             phase("walk", [](PhaseSpec& p) {
+               p.weight = 2.0;
+               p.instructions_mean = 8000;
+               p.frac_branch = 0.21;
+               p.frac_load = 0.28;
+               p.frac_store = 0.08;
+               p.branch_noise = 0.08;
+               p.code_pages = 16;
+               p.data_pages = 160;
+               p.hot_fraction = 0.06;
+               p.sequential_prob = 0.25;
+               p.syscalls_per_kilo_instr = 7.0;
+               p.kernel_burst_instr = 260;
+               p.minor_fault_rate = 10.0;
+             }),
+             phase("exfil", [](PhaseSpec& p) {
+               p.weight = 1.0;
+               p.instructions_mean = 9500;
+               p.frac_branch = 0.19;
+               p.frac_load = 0.30;
+               p.frac_store = 0.10;
+               p.code_pages = 12;
+               p.data_pages = 120;
+               p.sequential_prob = 0.6;
+               p.syscalls_per_kilo_instr = 6.0;
+               p.numa_remote_frac = 0.25;
+               p.context_switch_rate = 3.0;
+             })};
+       }},
+  };
+  return kTemplates;
+}
+
+AppProfile instantiate(const Template& tpl, bool is_malware,
+                       std::size_t template_index, std::uint32_t variant,
+                       std::uint64_t seed, std::uint32_t intervals) {
+  AppProfile app;
+  app.name = std::string(tpl.name) + ".v" + std::to_string(variant);
+  app.is_malware = is_malware;
+  app.family = tpl.family;
+  app.intervals = intervals;
+  app.seed = mix64(seed ^ mix64((is_malware ? 0x4D41ULL : 0x4245ULL) +
+                                template_index * 131 + variant));
+  app.phases = tpl.phases();
+  Rng rng(app.seed ^ 0x5EEDULL);
+  for (auto& ph : app.phases) jitter_phase(ph, rng);
+  return app;
+}
+
+}  // namespace
+
+std::size_t benign_template_count() { return benign_templates().size(); }
+std::size_t malware_template_count() { return malware_templates().size(); }
+
+AppProfile make_benign(std::size_t template_index, std::uint32_t variant,
+                       std::uint64_t seed, std::uint32_t intervals) {
+  HMD_REQUIRE(template_index < benign_template_count());
+  return instantiate(benign_templates()[template_index], false, template_index,
+                     variant, seed, intervals);
+}
+
+AppProfile make_malware(std::size_t template_index, std::uint32_t variant,
+                        std::uint64_t seed, std::uint32_t intervals) {
+  HMD_REQUIRE(template_index < malware_template_count());
+  return instantiate(malware_templates()[template_index], true, template_index,
+                     variant, seed, intervals);
+}
+
+std::vector<AppProfile> build_corpus(const CorpusConfig& cfg) {
+  HMD_REQUIRE(cfg.benign_per_template >= 1);
+  HMD_REQUIRE(cfg.malware_per_template >= 1);
+  std::vector<AppProfile> corpus;
+  corpus.reserve(benign_template_count() * cfg.benign_per_template +
+                 malware_template_count() * cfg.malware_per_template);
+  for (std::size_t t = 0; t < benign_template_count(); ++t)
+    for (std::uint32_t v = 0; v < cfg.benign_per_template; ++v)
+      corpus.push_back(make_benign(t, v, cfg.seed, cfg.intervals_per_app));
+  for (std::size_t t = 0; t < malware_template_count(); ++t)
+    for (std::uint32_t v = 0; v < cfg.malware_per_template; ++v)
+      corpus.push_back(make_malware(t, v, cfg.seed, cfg.intervals_per_app));
+  HMD_REQUIRE(cfg.instruction_scale > 0.0);
+  for (auto& app : corpus)
+    for (auto& ph : app.phases) ph.instructions_mean *= cfg.instruction_scale;
+  return corpus;
+}
+
+AppProfile blend_toward(const AppProfile& malware, const AppProfile& cover,
+                        double lambda) {
+  HMD_REQUIRE(lambda >= 0.0 && lambda <= 1.0);
+  HMD_REQUIRE(!malware.phases.empty() && !cover.phases.empty());
+  AppProfile out = malware;
+  out.name = malware.name + ".mimic" + std::to_string(lambda);
+
+  auto mix = [lambda](double a, double b) {
+    return (1.0 - lambda) * a + lambda * b;
+  };
+  auto mix_u = [&](std::uint32_t a, std::uint32_t b) {
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(mix(static_cast<double>(a),
+                               static_cast<double>(b)))));
+  };
+  for (std::size_t i = 0; i < out.phases.size(); ++i) {
+    PhaseSpec& m = out.phases[i];
+    const PhaseSpec& c = cover.phases[i % cover.phases.size()];
+    m.instructions_mean = mix(m.instructions_mean, c.instructions_mean);
+    m.frac_branch = mix(m.frac_branch, c.frac_branch);
+    m.frac_load = mix(m.frac_load, c.frac_load);
+    m.frac_store = mix(m.frac_store, c.frac_store);
+    m.branch_bias = mix(m.branch_bias, c.branch_bias);
+    m.branch_noise = mix(m.branch_noise, c.branch_noise);
+    m.code_jump_spread = mix(m.code_jump_spread, c.code_jump_spread);
+    m.code_pages = mix_u(m.code_pages, c.code_pages);
+    m.blocks_per_page = mix_u(m.blocks_per_page, c.blocks_per_page);
+    m.data_pages = mix_u(m.data_pages, c.data_pages);
+    m.hot_fraction = mix(m.hot_fraction, c.hot_fraction);
+    m.hot_access_prob = mix(m.hot_access_prob, c.hot_access_prob);
+    m.sequential_prob = mix(m.sequential_prob, c.sequential_prob);
+    m.stride_bytes = mix_u(m.stride_bytes, c.stride_bytes);
+    m.store_scatter = mix(m.store_scatter, c.store_scatter);
+    m.numa_remote_frac = mix(m.numa_remote_frac, c.numa_remote_frac);
+    m.syscalls_per_kilo_instr =
+        mix(m.syscalls_per_kilo_instr, c.syscalls_per_kilo_instr);
+    m.kernel_burst_instr = mix(m.kernel_burst_instr, c.kernel_burst_instr);
+    m.context_switch_rate = mix(m.context_switch_rate, c.context_switch_rate);
+    m.migration_rate = mix(m.migration_rate, c.migration_rate);
+    m.minor_fault_rate = mix(m.minor_fault_rate, c.minor_fault_rate);
+    m.major_fault_rate = mix(m.major_fault_rate, c.major_fault_rate);
+    m.alignment_fault_rate =
+        mix(m.alignment_fault_rate, c.alignment_fault_rate);
+    m.emulation_fault_rate =
+        mix(m.emulation_fault_rate, c.emulation_fault_rate);
+  }
+  return out;
+}
+
+}  // namespace hmd::sim

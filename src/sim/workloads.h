@@ -1,0 +1,61 @@
+// Workload catalog: the population of benign and malware applications.
+//
+// The paper profiles >100 applications: benign = MiBench suite, Linux
+// system programs, browsers, editors, a word processor; malware = Linux
+// ELFs and python/perl/bash scripts from VirusTotal, spanning several
+// malicious behaviours. We reproduce the *population structure* with
+// parameterized behaviour templates:
+//
+//   * 18 benign templates modelled on MiBench kernels and desktop/system
+//     software, including deliberately "hard" ones (compiler, browser,
+//     shell utilities) whose microarchitectural behaviour overlaps malware;
+//   * 14 malware family templates (scanner, flooder, fork-storm, miner,
+//     ransomware, spyware, beacon, rootkit, worm, dropper, script bots,
+//     adware, infostealer), including "hard" ones that resemble benign
+//     compute (the crypto-miner looks like MiBench/sha).
+//
+// Each template is instantiated several times with deterministic
+// per-instance jitter, giving a corpus of 100+ distinct applications.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/app_profile.h"
+
+namespace hmd::sim {
+
+/// Knobs for corpus construction; defaults reproduce the paper-scale corpus.
+struct CorpusConfig {
+  std::uint64_t seed = 2018;            ///< master seed (DAC'18!)
+  std::uint32_t benign_per_template = 4;
+  std::uint32_t malware_per_template = 5;
+  std::uint32_t intervals_per_app = 20; ///< 10 ms samples captured per run
+  /// Global scale on per-interval instruction volume. The default trades
+  /// simulation time for per-interval count resolution; 1.0 doubles both.
+  double instruction_scale = 0.5;
+};
+
+/// Number of behaviour templates on each side.
+std::size_t benign_template_count();
+std::size_t malware_template_count();
+
+/// Instantiate one application from a template (variant = jitter stream).
+AppProfile make_benign(std::size_t template_index, std::uint32_t variant,
+                       std::uint64_t seed, std::uint32_t intervals);
+AppProfile make_malware(std::size_t template_index, std::uint32_t variant,
+                        std::uint64_t seed, std::uint32_t intervals);
+
+/// The full labelled corpus: all templates × all variants, benign first.
+std::vector<AppProfile> build_corpus(const CorpusConfig& cfg = {});
+
+/// Mimicry attack model: every behaviour parameter of `malware` is moved a
+/// fraction `lambda` toward `cover`'s behaviour (phase-wise; `cover`'s
+/// phases are cycled if the counts differ). lambda = 0 returns the malware
+/// unchanged; lambda = 1 makes it microarchitecturally identical to the
+/// cover application — but then it also does none of its malicious work,
+/// which is the fundamental cost of mimicry this ablation quantifies.
+AppProfile blend_toward(const AppProfile& malware, const AppProfile& cover,
+                        double lambda);
+
+}  // namespace hmd::sim

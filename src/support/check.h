@@ -1,0 +1,66 @@
+// Lightweight precondition / invariant checking for the hmd libraries.
+//
+// We deliberately do not use <cassert>: checks here are part of the public
+// contract of the library and must fire in release builds too, because the
+// benchmark harnesses run in Release mode and silently-wrong experiment
+// output is worse than a crash.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hmd {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant is broken (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hmd
+
+/// Validate a documented precondition of a public API.
+#define HMD_REQUIRE(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) ::hmd::detail::fail_require(#expr, __FILE__, __LINE__, \
+                                             std::string{});            \
+  } while (false)
+
+#define HMD_REQUIRE_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::hmd::detail::fail_require(#expr, __FILE__, __LINE__, \
+                                             (msg));                    \
+  } while (false)
+
+/// Validate an internal invariant; failure indicates a library bug.
+#define HMD_INVARIANT(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) ::hmd::detail::fail_invariant(#expr, __FILE__, __LINE__, \
+                                               std::string{});            \
+  } while (false)

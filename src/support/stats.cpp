@@ -1,0 +1,118 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace hmd {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  HMD_REQUIRE(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double weighted_pearson(std::span<const double> xs, std::span<const double> ys,
+                        std::span<const double> ws) {
+  HMD_REQUIRE(xs.size() == ys.size() && xs.size() == ws.size());
+  double wsum = 0.0;
+  for (double w : ws) {
+    HMD_REQUIRE(w >= 0.0);
+    wsum += w;
+  }
+  if (wsum <= 0.0 || xs.size() < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += ws[i] * xs[i];
+    my += ws[i] * ys[i];
+  }
+  mx /= wsum;
+  my /= wsum;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += ws[i] * dx * dy;
+    sxx += ws[i] * dx * dx;
+    syy += ws[i] * dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::add(double x) { add_weighted(x, 1.0); }
+
+void RunningStats::add_weighted(double x, double w) {
+  HMD_REQUIRE(w >= 0.0);
+  if (w == 0.0) return;
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  w_sum_ += w;
+  const double delta = x - mean_;
+  mean_ += (w / w_sum_) * delta;
+  m2_ += w * delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (w_sum_ <= 1.0) return 0.0;
+  return m2_ / (w_sum_ - 1.0);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::vector<std::size_t> rank_descending(std::span<const double> values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] > values[b];
+  });
+  return idx;
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  HMD_REQUIRE(!sorted.empty());
+  HMD_REQUIRE(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace hmd

@@ -1,0 +1,55 @@
+// Small statistics helpers shared by the ML library and the benchmark
+// harnesses: means, variances, Pearson correlation, ranking utilities.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hmd {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 for fewer than two elements.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+/// Pearson product-moment correlation in [-1, 1]; 0 when either side is
+/// constant (the convention used by WEKA's CorrelationAttributeEval).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Weighted Pearson correlation with per-observation weights.
+double weighted_pearson(std::span<const double> xs, std::span<const double> ys,
+                        std::span<const double> ws);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void add_weighted(double x, double w);
+  std::size_t count() const { return n_; }
+  double weight() const { return w_sum_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< unbiased-ish (frequency weights)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double w_sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Indices 0..n-1 sorted so values[result[0]] is the largest.
+std::vector<std::size_t> rank_descending(std::span<const double> values);
+
+/// Percentile via linear interpolation on a *sorted* input; p in [0, 100].
+double percentile_sorted(std::span<const double> sorted, double p);
+
+}  // namespace hmd

@@ -1,0 +1,96 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace hmd {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  HMD_REQUIRE(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) HMD_REQUIRE(row.size() == header_.size());
+  if (!rows_.empty()) HMD_REQUIRE(row.size() == rows_.front().size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  const std::size_t cols = !header_.empty() ? header_.size()
+                           : !rows_.empty() ? rows_.front().size()
+                                            : 0;
+  if (cols == 0) return;
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto rule = [&](char corner, char fill) {
+    os << corner;
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) os << fill;
+      os << corner;
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule('+', '-');
+  if (!header_.empty()) {
+    line(header_);
+    rule('+', '=');
+  }
+  for (const auto& row : rows_) line(row);
+  rule('+', '-');
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      const bool quote = row[i].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        os << '"';
+        for (char ch : row[i]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << row[i];
+      }
+    }
+    os << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) {
+    HMD_REQUIRE(row.size() == header.size());
+    emit(row);
+  }
+}
+
+}  // namespace hmd

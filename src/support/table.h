@@ -1,0 +1,42 @@
+// ASCII table rendering for the reproduction harnesses: every bench binary
+// prints the rows of the paper table/figure it regenerates through this,
+// so the output format is consistent and diff-able across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmd {
+
+/// A simple column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width if a header was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with box-drawing rules to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write rows as CSV (header first) — used to dump figure series for
+/// external plotting.
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace hmd

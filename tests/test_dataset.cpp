@@ -1,0 +1,161 @@
+// Unit tests for ml::Dataset: construction, selection, resampling, and the
+// application-level stratified split.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/dataset.h"
+#include "support/check.h"
+#include "test_util.h"
+
+namespace hmd::ml {
+namespace {
+
+Dataset small() {
+  Dataset d(std::vector<std::string>{"a", "b"});
+  d.add_row({1.0, 10.0}, 0, 1.0, 0);
+  d.add_row({2.0, 20.0}, 1, 2.0, 1);
+  d.add_row({3.0, 30.0}, 0, 1.0, 0);
+  return d;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = small();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.label(1), 1);
+  EXPECT_DOUBLE_EQ(d.weight(1), 2.0);
+  EXPECT_EQ(d.group(1), 1u);
+  EXPECT_EQ(d.feature_name(1), "b");
+  EXPECT_DOUBLE_EQ(d.row(2)[0], 3.0);
+}
+
+TEST(Dataset, AddRowValidation) {
+  Dataset d(std::vector<std::string>{"a"});
+  EXPECT_THROW(d.add_row({1.0, 2.0}, 0), PreconditionError);  // width
+  EXPECT_THROW(d.add_row({1.0}, 2), PreconditionError);       // label
+  EXPECT_THROW(d.add_row({1.0}, 0, -1.0), PreconditionError); // weight
+}
+
+TEST(Dataset, ColumnAndLabels) {
+  const Dataset d = small();
+  EXPECT_EQ(d.column(1), (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(d.labels_as_double(), (std::vector<double>{0.0, 1.0, 0.0}));
+}
+
+TEST(Dataset, Weights) {
+  Dataset d = small();
+  EXPECT_DOUBLE_EQ(d.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(d.positive_weight(), 2.0);
+  d.normalize_weights();
+  EXPECT_NEAR(d.total_weight(), 3.0, 1e-12);  // sums to num_rows
+}
+
+TEST(Dataset, SelectFeaturesReordersColumns) {
+  const Dataset d = small();
+  const std::vector<std::size_t> sel{1, 0};
+  const Dataset s = d.select_features(sel);
+  EXPECT_EQ(s.feature_name(0), "b");
+  EXPECT_DOUBLE_EQ(s.row(0)[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.row(0)[1], 1.0);
+  EXPECT_EQ(s.label(1), 1);
+}
+
+TEST(Dataset, SubsetAllowsRepeats) {
+  const Dataset d = small();
+  const std::vector<std::size_t> rows{2, 2, 0};
+  const Dataset s = d.subset(rows);
+  EXPECT_EQ(s.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(s.row(0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.row(1)[0], 3.0);
+}
+
+TEST(Dataset, BootstrapPreservesSizeAndUnitWeights) {
+  const Dataset d = testutil::gaussian_blobs(50, 2, 0, 1.0, 3);
+  Rng rng(4);
+  const Dataset b = d.bootstrap(rng);
+  EXPECT_EQ(b.num_rows(), d.num_rows());
+  for (std::size_t i = 0; i < b.num_rows(); ++i)
+    EXPECT_DOUBLE_EQ(b.weight(i), 1.0);
+}
+
+TEST(Dataset, BootstrapDrawsWithReplacement) {
+  // With 100 rows, a bootstrap almost surely repeats at least one row and
+  // omits at least one (P ~ 1 - 1e-16).
+  const Dataset d = testutil::gaussian_blobs(50, 1, 0, 1.0, 5);
+  Rng rng(6);
+  const Dataset b = d.bootstrap(rng);
+  std::set<double> source_values, boot_values;
+  for (std::size_t i = 0; i < d.num_rows(); ++i)
+    source_values.insert(d.row(i)[0]);
+  for (std::size_t i = 0; i < b.num_rows(); ++i)
+    boot_values.insert(b.row(i)[0]);
+  EXPECT_LT(boot_values.size(), source_values.size());
+}
+
+TEST(Dataset, WeightedBootstrapFavoursHeavyRows) {
+  Dataset d(std::vector<std::string>{"x"});
+  d.add_row({0.0}, 0, 0.01);
+  d.add_row({1.0}, 1, 100.0);
+  Rng rng(7);
+  const Dataset b = d.weighted_bootstrap(rng);
+  std::size_t heavy = 0;
+  for (std::size_t i = 0; i < b.num_rows(); ++i)
+    if (b.row(i)[0] == 1.0) ++heavy;
+  EXPECT_EQ(heavy, b.num_rows());  // overwhelming probability
+}
+
+TEST(Split, GroupsNeverStraddleTrainAndTest) {
+  const Dataset d = testutil::gaussian_blobs(200, 2, 0, 1.0, 8);
+  Rng rng(9);
+  const Split split = stratified_group_split(d, 0.7, rng);
+  std::set<std::size_t> train_groups, test_groups;
+  for (std::size_t i = 0; i < split.train.num_rows(); ++i)
+    train_groups.insert(split.train.group(i));
+  for (std::size_t i = 0; i < split.test.num_rows(); ++i)
+    test_groups.insert(split.test.group(i));
+  for (std::size_t g : test_groups) EXPECT_FALSE(train_groups.contains(g));
+}
+
+TEST(Split, RoughlySeventyThirtyPerClass) {
+  const Dataset d = testutil::gaussian_blobs(400, 1, 0, 1.0, 10);
+  Rng rng(11);
+  const Split split = stratified_group_split(d, 0.7, rng);
+  const double frac = static_cast<double>(split.train.num_rows()) /
+                      static_cast<double>(d.num_rows());
+  EXPECT_NEAR(frac, 0.7, 0.08);
+  // Both classes present on both sides.
+  EXPECT_GT(split.train.positive_weight(), 0.0);
+  EXPECT_GT(split.test.positive_weight(), 0.0);
+  EXPECT_LT(split.train.positive_weight(), split.train.total_weight());
+  EXPECT_LT(split.test.positive_weight(), split.test.total_weight());
+}
+
+TEST(Split, DeterministicGivenRng) {
+  const Dataset d = testutil::gaussian_blobs(100, 1, 0, 1.0, 12);
+  Rng r1(5), r2(5);
+  const Split a = stratified_group_split(d, 0.7, r1);
+  const Split b = stratified_group_split(d, 0.7, r2);
+  EXPECT_EQ(a.train.num_rows(), b.train.num_rows());
+}
+
+TEST(Folds, StratifiedAndDisjoint) {
+  const Dataset d = testutil::gaussian_blobs(60, 1, 0, 1.0, 13);
+  Rng rng(14);
+  const auto folds = stratified_row_folds(d, 3, rng);
+  ASSERT_EQ(folds.size(), 3u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    double pos = 0;
+    for (std::size_t i : fold) {
+      EXPECT_TRUE(seen.insert(i).second);
+      pos += d.label(i);
+    }
+    // Each fold carries close to its share of positives.
+    EXPECT_NEAR(pos / static_cast<double>(fold.size()), 0.5, 0.1);
+  }
+  EXPECT_EQ(seen.size(), d.num_rows());
+}
+
+}  // namespace
+}  // namespace hmd::ml

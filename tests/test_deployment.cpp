@@ -1,0 +1,104 @@
+// End-to-end tests of the deployment path: feature selection from the
+// 44-event study, deployment-shaped retraining, online monitoring of
+// unseen applications.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/online.h"
+#include "support/check.h"
+
+namespace hmd::core {
+namespace {
+
+struct DeploymentFixture : public testing::Test {
+  static const ExperimentContext& ctx() {
+    static const ExperimentContext context = [] {
+      ExperimentConfig cfg;
+      cfg.corpus.benign_per_template = 2;
+      cfg.corpus.malware_per_template = 2;
+      cfg.corpus.intervals_per_app = 8;
+      return prepare_experiment(cfg);
+    }();
+    return context;
+  }
+
+  static std::vector<sim::Event> top_events(std::size_t k) {
+    std::vector<sim::Event> events;
+    for (std::size_t f : ctx().top_features(k))
+      events.push_back(sim::event_from_name(ctx().full.feature_name(f)));
+    return events;
+  }
+};
+
+TEST_F(DeploymentFixture, TopEventsFitTheFourCounterPmu) {
+  const auto events = top_events(4);
+  hpc::Pmu pmu;
+  EXPECT_NO_THROW(pmu.program(events));
+}
+
+TEST_F(DeploymentFixture, DeploymentModelTrainsAndScores) {
+  const auto events = top_events(4);
+  const auto corpus = sim::build_corpus(ctx().config.corpus);
+  const auto model = train_deployment_model(
+      corpus, events, ml::ClassifierKind::kJ48, ml::EnsembleKind::kBagging,
+      ctx().config.capture, 7);
+  ASSERT_NE(model, nullptr);
+  const std::vector<double> x(events.size(), 100.0);
+  const double p = model->predict_proba(x);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST_F(DeploymentFixture, DeploymentCaptureIsSingleRunPerApp) {
+  const auto events = top_events(4);
+  const auto corpus = std::vector<sim::AppProfile>{
+      sim::make_benign(0, 0, 5, 4), sim::make_malware(0, 0, 5, 4)};
+  const auto capture = hpc::capture_corpus(corpus, events, {});
+  EXPECT_EQ(capture.total_runs, corpus.size());  // 4 events -> one batch
+}
+
+TEST_F(DeploymentFixture, OnlineDetectorSeparatesClearCases) {
+  const auto events = top_events(4);
+  const auto corpus = sim::build_corpus(ctx().config.corpus);
+  const auto model = train_deployment_model(
+      corpus, events, ml::ClassifierKind::kJ48, ml::EnsembleKind::kBagging,
+      ctx().config.capture, 7);
+
+  OnlineDetector detector(model, events);
+  // An unseen variant of an easy malware family (synflood, template 1)
+  // and of an easy benign kernel (sha, template 2).
+  const auto mal = sim::make_malware(1, 9, 999, 12);
+  const auto ben = sim::make_benign(2, 9, 999, 12);
+
+  const auto mal_timeline = monitor_application(mal, detector);
+  double mal_mean = 0.0;
+  for (const auto& v : mal_timeline) mal_mean += v.score;
+  mal_mean /= static_cast<double>(mal_timeline.size());
+
+  detector.reset();
+  const auto ben_timeline = monitor_application(ben, detector);
+  double ben_mean = 0.0;
+  for (const auto& v : ben_timeline) ben_mean += v.score;
+  ben_mean /= static_cast<double>(ben_timeline.size());
+
+  EXPECT_GT(mal_mean, ben_mean + 0.2)
+      << "synflood should score clearly above sha";
+}
+
+TEST_F(DeploymentFixture, MonitorIsDeterministicPerRunIndex) {
+  const auto events = top_events(2);
+  const auto corpus = sim::build_corpus(ctx().config.corpus);
+  const auto model = train_deployment_model(
+      corpus, events, ml::ClassifierKind::kOneR, ml::EnsembleKind::kGeneral,
+      ctx().config.capture, 7);
+  OnlineDetector a(model, events), b(model, events);
+  const auto app = sim::make_benign(0, 9, 321, 6);
+  const auto ta = monitor_application(app, a);
+  const auto tb = monitor_application(app, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    EXPECT_DOUBLE_EQ(ta[i].score, tb[i].score);
+}
+
+}  // namespace
+}  // namespace hmd::core

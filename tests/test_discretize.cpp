@@ -1,0 +1,122 @@
+// Unit tests for MDL / equal-frequency discretization and information gain.
+#include <gtest/gtest.h>
+
+#include "ml/discretize.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace hmd::ml {
+namespace {
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0, 0.0), 0.0);
+  EXPECT_NEAR(binary_entropy(3.0, 1.0), 0.8112781244591328, 1e-12);
+}
+
+TEST(BinaryEntropy, SymmetricAndScaleInvariant) {
+  EXPECT_DOUBLE_EQ(binary_entropy(2.0, 5.0), binary_entropy(5.0, 2.0));
+  EXPECT_NEAR(binary_entropy(2.0, 5.0), binary_entropy(20.0, 50.0), 1e-12);
+}
+
+TEST(Discretizer, BinBoundaries) {
+  const Discretizer disc(std::vector<double>{1.0, 3.0});
+  EXPECT_EQ(disc.num_bins(), 3u);
+  EXPECT_EQ(disc.bin(0.0), 0u);
+  EXPECT_EQ(disc.bin(1.0), 1u);  // cuts are inclusive on the left bin edge
+  EXPECT_EQ(disc.bin(2.0), 1u);
+  EXPECT_EQ(disc.bin(3.5), 2u);
+}
+
+TEST(Discretizer, UnsortedCutsRejected) {
+  EXPECT_THROW(Discretizer(std::vector<double>{3.0, 1.0}),
+               PreconditionError);
+}
+
+TEST(MdlDiscretize, FindsTheObviousCut) {
+  // Class 0 in [0,1), class 1 in [2,3): one clean boundary.
+  std::vector<double> values;
+  std::vector<int> labels;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.uniform(0.0, 1.0));
+    labels.push_back(0);
+    values.push_back(rng.uniform(2.0, 3.0));
+    labels.push_back(1);
+  }
+  const auto disc = mdl_discretize(values, labels, {});
+  ASSERT_EQ(disc.cuts().size(), 1u);
+  EXPECT_GT(disc.cuts()[0], 1.0);
+  EXPECT_LT(disc.cuts()[0], 2.0);
+}
+
+TEST(MdlDiscretize, UselessFeatureGetsNoCuts) {
+  std::vector<double> values;
+  std::vector<int> labels;
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(rng.uniform(0.0, 1.0));
+    labels.push_back(i % 2);  // label independent of value
+  }
+  const auto disc = mdl_discretize(values, labels, {});
+  EXPECT_EQ(disc.cuts().size(), 0u);
+}
+
+TEST(MdlDiscretize, ThreeClassesOfValueGetTwoCuts) {
+  std::vector<double> values;
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 150; ++i) {
+    values.push_back(rng.uniform(0.0, 1.0));
+    labels.push_back(0);
+    values.push_back(rng.uniform(2.0, 3.0));
+    labels.push_back(1);
+    values.push_back(rng.uniform(4.0, 5.0));
+    labels.push_back(0);
+  }
+  const auto disc = mdl_discretize(values, labels, {});
+  EXPECT_EQ(disc.cuts().size(), 2u);
+}
+
+TEST(MdlDiscretize, RespectsWeights) {
+  // Heavily down-weighting one side makes the split not worth its bits.
+  std::vector<double> values{0.1, 0.2, 0.3, 2.1, 2.2, 2.3};
+  std::vector<int> labels{0, 0, 0, 1, 1, 1};
+  std::vector<double> tiny(6, 1e-6);
+  const auto disc = mdl_discretize(values, labels, tiny);
+  EXPECT_EQ(disc.cuts().size(), 0u);
+}
+
+TEST(EqualFrequency, SplitsMassEvenly) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  const auto disc = equal_frequency_discretize(values, 4);
+  EXPECT_EQ(disc.num_bins(), 4u);
+  std::array<int, 4> counts{};
+  for (double v : values) ++counts[disc.bin(v)];
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(EqualFrequency, DegenerateDuplicatesCollapseBins) {
+  const std::vector<double> values(50, 7.0);
+  const auto disc = equal_frequency_discretize(values, 4);
+  EXPECT_EQ(disc.num_bins(), 1u);
+}
+
+TEST(InformationGain, PerfectSplitGivesFullEntropy) {
+  std::vector<double> values{0, 0, 0, 10, 10, 10};
+  std::vector<int> labels{0, 0, 0, 1, 1, 1};
+  const Discretizer disc(std::vector<double>{5.0});
+  EXPECT_NEAR(information_gain(disc, values, labels, {}), 1.0, 1e-12);
+}
+
+TEST(InformationGain, UselessSplitGivesZero) {
+  std::vector<double> values{0, 10, 0, 10};
+  std::vector<int> labels{0, 0, 1, 1};
+  const Discretizer disc(std::vector<double>{5.0});
+  EXPECT_NEAR(information_gain(disc, values, labels, {}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hmd::ml

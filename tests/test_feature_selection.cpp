@@ -1,0 +1,85 @@
+// Unit tests for the feature-reduction stage: correlation & info-gain
+// attribute evaluation, ranking, redundancy pruning.
+#include <gtest/gtest.h>
+
+#include "ml/feature_selection.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace hmd::ml {
+namespace {
+
+/// Columns: f0 = strong signal, f1 = weak signal, f2 = pure noise,
+/// f3 = duplicate of f0 (for redundancy tests).
+Dataset synthetic(std::uint64_t seed = 1, std::size_t n = 400) {
+  Dataset d(std::vector<std::string>{"strong", "weak", "noise", "dup"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = rng.chance(0.5) ? 1 : 0;
+    const double strong = label * 3.0 + rng.gaussian(0.0, 1.0);
+    const double weak = label * 0.7 + rng.gaussian(0.0, 1.0);
+    const double noise = rng.gaussian(0.0, 1.0);
+    d.add_row({strong, weak, noise, strong + 0.001 * rng.gaussian(0, 1)},
+              label);
+  }
+  return d;
+}
+
+TEST(CorrelationRanking, OrdersBySignalStrength) {
+  const auto ranking = correlation_ranking(synthetic());
+  // strong (or its duplicate) first, noise last.
+  EXPECT_TRUE(ranking[0].feature == 0 || ranking[0].feature == 3);
+  EXPECT_EQ(ranking.back().feature, 2u);
+  for (std::size_t i = 1; i < ranking.size(); ++i)
+    EXPECT_LE(ranking[i].score, ranking[i - 1].score);
+}
+
+TEST(CorrelationRanking, ScoresWithinUnitInterval) {
+  for (const auto& fs : correlation_ranking(synthetic(7))) {
+    EXPECT_GE(fs.score, 0.0);
+    EXPECT_LE(fs.score, 1.0);
+  }
+}
+
+TEST(InfoGainRanking, AgreesOnStrongVsNoise) {
+  const auto ranking = info_gain_ranking(synthetic(3));
+  EXPECT_TRUE(ranking[0].feature == 0 || ranking[0].feature == 3);
+  EXPECT_EQ(ranking.back().feature, 2u);
+  EXPECT_NEAR(ranking.back().score, 0.0, 1e-9);
+}
+
+TEST(TopK, TakesPrefixInOrder) {
+  const auto ranking = correlation_ranking(synthetic(4));
+  const auto top2 = top_k_features(ranking, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], ranking[0].feature);
+  EXPECT_EQ(top2[1], ranking[1].feature);
+}
+
+TEST(TopK, BoundsChecked) {
+  const auto ranking = correlation_ranking(synthetic(5));
+  EXPECT_THROW(top_k_features(ranking, 0), PreconditionError);
+  EXPECT_THROW(top_k_features(ranking, ranking.size() + 1),
+               PreconditionError);
+}
+
+TEST(PruneRedundant, DropsTheDuplicateKeepsTheRest) {
+  const Dataset d = synthetic(6);
+  const auto ranking = correlation_ranking(d);
+  const auto pruned = prune_redundant(d, ranking, 0.98);
+  // dup correlates ~1.0 with strong: exactly one of them survives.
+  std::size_t strong_like = 0;
+  for (const auto& fs : pruned)
+    if (fs.feature == 0 || fs.feature == 3) ++strong_like;
+  EXPECT_EQ(strong_like, 1u);
+  EXPECT_EQ(pruned.size(), 3u);  // strong-like, weak, noise
+}
+
+TEST(PruneRedundant, ThresholdOneKeepsEverything) {
+  const Dataset d = synthetic(8);
+  const auto ranking = correlation_ranking(d);
+  EXPECT_EQ(prune_redundant(d, ranking, 1.0).size(), ranking.size());
+}
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,135 @@
+// Tests for the HLS C code generator: structural checks on the emitted
+// code for every supported model family, plus a full compile check with
+// the system C compiler when one is available.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "hw/hls_codegen.h"
+#include "ml/adaboost.h"
+#include "ml/bagging.h"
+#include "ml/bayesnet.h"
+#include "ml/classifier.h"
+#include "support/check.h"
+#include "test_util.h"
+
+namespace hmd::hw {
+namespace {
+
+using testutil::gaussian_blobs;
+
+std::string generate_for(ml::ClassifierKind kind, ml::EnsembleKind ens) {
+  const ml::Dataset data = gaussian_blobs(80, 2, 1, 1.2, 9);
+  auto model = ml::make_detector(kind, ens, 7);
+  model->train(data);
+  std::ostringstream os;
+  generate_hls_c(os, *model, data.num_features());
+  return os.str();
+}
+
+struct CodegenCase {
+  ml::ClassifierKind kind;
+  ml::EnsembleKind ensemble;
+};
+
+class CodegenFamilies : public testing::TestWithParam<CodegenCase> {};
+
+TEST_P(CodegenFamilies, EmitsSelfContainedC) {
+  const std::string code =
+      generate_for(GetParam().kind, GetParam().ensemble);
+  EXPECT_NE(code.find("#include <stdint.h>"), std::string::npos);
+  EXPECT_NE(code.find("int hmd_classify(const int32_t x[3])"),
+            std::string::npos);
+  // No floating point and no libc calls in the synthesizable body.
+  EXPECT_EQ(code.find("double"), std::string::npos);
+  EXPECT_EQ(code.find("float"), std::string::npos);
+  EXPECT_EQ(code.find("malloc"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Supported, CodegenFamilies,
+    testing::Values(
+        CodegenCase{ml::ClassifierKind::kOneR, ml::EnsembleKind::kGeneral},
+        CodegenCase{ml::ClassifierKind::kJ48, ml::EnsembleKind::kGeneral},
+        CodegenCase{ml::ClassifierKind::kRepTree,
+                    ml::EnsembleKind::kGeneral},
+        CodegenCase{ml::ClassifierKind::kJRip, ml::EnsembleKind::kGeneral},
+        CodegenCase{ml::ClassifierKind::kSgd, ml::EnsembleKind::kGeneral},
+        CodegenCase{ml::ClassifierKind::kSmo, ml::EnsembleKind::kGeneral},
+        CodegenCase{ml::ClassifierKind::kJRip, ml::EnsembleKind::kAdaBoost},
+        CodegenCase{ml::ClassifierKind::kRepTree,
+                    ml::EnsembleKind::kBagging}),
+    [](const testing::TestParamInfo<CodegenCase>& tpi) {
+      return std::string(ml::classifier_kind_name(tpi.param.kind)) + "_" +
+             std::string(ml::ensemble_kind_name(tpi.param.ensemble));
+    });
+
+TEST(Codegen, EnsembleEmitsOneHelperPerMember) {
+  const std::string code =
+      generate_for(ml::ClassifierKind::kOneR, ml::EnsembleKind::kBagging);
+  std::size_t helpers = 0, pos = 0;
+  while ((pos = code.find("static int oner_", pos)) != std::string::npos) {
+    ++helpers;
+    pos += 1;
+  }
+  EXPECT_EQ(helpers, 10u);  // one helper definition per bag member
+}
+
+TEST(Codegen, UnsupportedModelRejected) {
+  const ml::Dataset data = gaussian_blobs(40, 1, 0, 1.0, 10);
+  ml::BayesNet bn;
+  bn.train(data);
+  EXPECT_FALSE(hls_supported(bn));
+  std::ostringstream os;
+  EXPECT_THROW(generate_hls_c(os, bn, 1), PreconditionError);
+}
+
+TEST(Codegen, SupportedPredicateMatchesGenerator) {
+  const ml::Dataset data = gaussian_blobs(40, 2, 0, 1.0, 11);
+  for (ml::ClassifierKind kind :
+       {ml::ClassifierKind::kOneR, ml::ClassifierKind::kJ48,
+        ml::ClassifierKind::kSmo}) {
+    auto model = ml::make_classifier(kind, 7);
+    model->train(data);
+    EXPECT_TRUE(hls_supported(*model));
+  }
+}
+
+TEST(Codegen, CustomFunctionNameAndWidth) {
+  const ml::Dataset data = gaussian_blobs(40, 1, 0, 1.0, 12);
+  auto model = ml::make_classifier(ml::ClassifierKind::kOneR, 7);
+  model->train(data);
+  HlsOptions opt;
+  opt.function_name = "detect";
+  opt.fraction_bits = 4;
+  std::ostringstream os;
+  generate_hls_c(os, *model, 1, opt);
+  EXPECT_NE(os.str().find("int detect(const int32_t x[1])"),
+            std::string::npos);
+}
+
+TEST(Codegen, GeneratedCodeCompilesWithSystemCc) {
+  if (std::system("cc --version > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "no system C compiler available";
+
+  const std::string code =
+      generate_for(ml::ClassifierKind::kJRip, ml::EnsembleKind::kAdaBoost);
+  const char* path = "/tmp/hmd_codegen_test.c";
+  {
+    std::ofstream out(path);
+    out << code << "\nint main(void) { int32_t x[3] = {0, 0, 0}; "
+           "return hmd_classify(x); }\n";
+  }
+  const int rc = std::system(
+      "cc -std=c99 -Wall -Werror -o /tmp/hmd_codegen_test "
+      "/tmp/hmd_codegen_test.c > /dev/null 2>&1");
+  EXPECT_EQ(rc, 0) << "generated C failed to compile";
+  std::remove(path);
+  std::remove("/tmp/hmd_codegen_test");
+}
+
+}  // namespace
+}  // namespace hmd::hw

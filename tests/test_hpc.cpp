@@ -1,0 +1,209 @@
+// Unit tests for src/hpc: PMU programming constraints, event batching,
+// container isolation, and the three capture protocols.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpc/capture.h"
+#include "hpc/container.h"
+#include "hpc/pmu.h"
+#include "support/check.h"
+
+namespace hmd::hpc {
+namespace {
+
+using sim::Event;
+
+std::vector<Event> events(std::initializer_list<Event> list) { return list; }
+
+// ------------------------------------------------------------------- pmu --
+
+TEST(Pmu, AcceptsUpToWidthHardwareEvents) {
+  Pmu pmu(PmuConfig{4});
+  EXPECT_NO_THROW(pmu.program(events({Event::kCpuCycles, Event::kInstructions,
+                                      Event::kCacheMisses,
+                                      Event::kBranchMisses})));
+}
+
+TEST(Pmu, RejectsOverSubscription) {
+  Pmu pmu(PmuConfig{2});
+  EXPECT_THROW(pmu.program(events({Event::kCpuCycles, Event::kInstructions,
+                                   Event::kCacheMisses})),
+               PreconditionError);
+}
+
+TEST(Pmu, SoftwareEventsAreFree) {
+  Pmu pmu(PmuConfig{2});
+  EXPECT_NO_THROW(pmu.program(
+      events({Event::kCpuCycles, Event::kInstructions, Event::kPageFaults,
+              Event::kContextSwitches, Event::kMinorFaults})));
+}
+
+TEST(Pmu, RejectsDuplicates) {
+  Pmu pmu(PmuConfig{4});
+  EXPECT_THROW(pmu.program(events({Event::kCpuCycles, Event::kCpuCycles})),
+               PreconditionError);
+}
+
+TEST(Pmu, ReadUnprogrammedIsNullopt) {
+  Pmu pmu(PmuConfig{4});
+  pmu.program(events({Event::kCpuCycles}));
+  EXPECT_FALSE(pmu.read(Event::kCacheMisses).has_value());
+  EXPECT_TRUE(pmu.read(Event::kCpuCycles).has_value());
+}
+
+TEST(Pmu, ObserveAccumulatesAndSampleClears) {
+  Pmu pmu(PmuConfig{4});
+  pmu.program(events({Event::kInstructions, Event::kBranchMisses}));
+  sim::EventCounts c{};
+  c[Event::kInstructions] = 100;
+  c[Event::kBranchMisses] = 7;
+  pmu.observe(c);
+  pmu.observe(c);
+  EXPECT_EQ(pmu.read(Event::kInstructions), 200u);
+  const auto sample = pmu.sample_and_clear();
+  EXPECT_EQ(sample[0], 200u);
+  EXPECT_EQ(sample[1], 14u);
+  EXPECT_EQ(pmu.read(Event::kInstructions), 0u);
+}
+
+// ------------------------------------------------------------ scheduling --
+
+TEST(Scheduling, FortyFourEventsNeedElevenBatchesOfFour) {
+  // The paper: "We divide 44 events into 11 batches of 4 events".
+  std::vector<Event> all(sim::all_events().begin(), sim::all_events().end());
+  const auto batches = schedule_batches(all, 4);
+  // 37 hardware events -> ceil(37/4) = 10 batches; the 7 software events
+  // ride along for free, so the protocol needs 10 runs (perf's software
+  // events do not consume counter registers — one run fewer than the
+  // paper's accounting, which batched them like hardware events).
+  EXPECT_EQ(batches.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& b : batches) {
+    EXPECT_LE(Pmu::hardware_event_count(b), 4u);
+    total += b.size();
+  }
+  EXPECT_EQ(total, 44u);
+}
+
+TEST(Scheduling, PreservesEventOrderWithinBatches) {
+  const auto batches = schedule_batches(
+      events({Event::kCpuCycles, Event::kInstructions, Event::kCacheMisses}),
+      2);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0][0], Event::kCpuCycles);
+  EXPECT_EQ(batches[0][1], Event::kInstructions);
+  EXPECT_EQ(batches[1][0], Event::kCacheMisses);
+}
+
+TEST(Scheduling, WidthOneSerialisesEverything) {
+  std::vector<Event> all(sim::all_events().begin(), sim::all_events().end());
+  EXPECT_EQ(schedule_batches(all, 1).size(), 37u);
+}
+
+// ------------------------------------------------------------- container --
+
+TEST(Container, ProducesOneSamplePerInterval) {
+  Container container;
+  const auto app = sim::make_benign(0, 0, 11, 5);
+  const auto trace = container.run(app, 0, events({Event::kInstructions}));
+  EXPECT_EQ(trace.samples.size(), 5u);
+  for (const auto& s : trace.samples) EXPECT_GT(s[0], 0u);
+}
+
+TEST(Container, IsolationNoCrossRunContamination) {
+  // Two identical runs must produce identical traces even with a
+  // different run in between (the destroyed-container property).
+  Container container;
+  const auto app = sim::make_benign(1, 0, 12, 4);
+  const auto other = sim::make_malware(0, 0, 13, 4);
+  const auto first = container.run(app, 0, events({Event::kCacheMisses}));
+  container.run(other, 0, events({Event::kCacheMisses}));
+  const auto again = container.run(app, 0, events({Event::kCacheMisses}));
+  ASSERT_EQ(first.samples.size(), again.samples.size());
+  for (std::size_t i = 0; i < first.samples.size(); ++i)
+    EXPECT_EQ(first.samples[i][0], again.samples[i][0]) << i;
+}
+
+TEST(Container, CountsRuns) {
+  Container container;
+  const auto app = sim::make_benign(0, 0, 14, 2);
+  container.run(app, 0, events({Event::kInstructions}));
+  container.run(app, 1, events({Event::kInstructions}));
+  EXPECT_EQ(container.runs_executed(), 2u);
+}
+
+// --------------------------------------------------------------- capture --
+
+std::vector<sim::AppProfile> tiny_corpus() {
+  return {sim::make_benign(0, 0, 21, 6), sim::make_malware(0, 0, 21, 6)};
+}
+
+TEST(Capture, MultiRunFillsEveryColumn) {
+  const auto cap = capture_all_events(tiny_corpus());
+  EXPECT_EQ(cap.num_features(), 44u);
+  EXPECT_EQ(cap.num_rows(), 12u);  // 2 apps x 6 intervals
+  for (const auto& row : cap.rows)
+    for (double v : row) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Capture, MultiRunCostsTenRunsPerApp) {
+  const auto cap = capture_all_events(tiny_corpus());
+  EXPECT_EQ(cap.total_runs, 2u * 10u);
+}
+
+TEST(Capture, LabelsFollowApps) {
+  const auto cap = capture_all_events(tiny_corpus());
+  for (std::size_t i = 0; i < cap.num_rows(); ++i)
+    EXPECT_EQ(cap.labels[i], cap.app_labels[cap.row_app[i]]);
+  EXPECT_EQ(cap.app_labels[0], 0);
+  EXPECT_EQ(cap.app_labels[1], 1);
+}
+
+TEST(Capture, OracleIsOneRunPerApp) {
+  CaptureConfig cfg;
+  cfg.protocol = CaptureProtocol::kOracle;
+  const auto cap = capture_all_events(tiny_corpus(), cfg);
+  EXPECT_EQ(cap.total_runs, 2u);
+  EXPECT_EQ(cap.num_rows(), 12u);
+}
+
+TEST(Capture, MultiplexIsOneRunButDropsWarmupRows) {
+  CaptureConfig cfg;
+  cfg.protocol = CaptureProtocol::kMultiplex;
+  std::vector<sim::AppProfile> corpus = {sim::make_benign(0, 0, 21, 15),
+                                         sim::make_malware(0, 0, 21, 15)};
+  const auto cap = capture_all_events(corpus, cfg);
+  EXPECT_EQ(cap.total_runs, 2u);
+  // 10 batches rotate; rows only emitted once all events seen.
+  EXPECT_EQ(cap.num_rows(), 2u * (15u - 9u));
+}
+
+TEST(Capture, ColumnsComeFromDifferentRunsUnderMultiRun) {
+  // branch_instructions and branch_loads are identical counts inside one
+  // run; under the multi-run protocol they land in different batches, so
+  // the merged columns must differ by run-to-run noise.
+  const auto cap = capture_all_events(tiny_corpus());
+  std::size_t bi = 0, bl = 0;
+  for (std::size_t f = 0; f < cap.feature_names.size(); ++f) {
+    if (cap.feature_names[f] == "branch_instructions") bi = f;
+    if (cap.feature_names[f] == "branch_loads") bl = f;
+  }
+  bool any_difference = false;
+  for (const auto& row : cap.rows)
+    if (row[bi] != row[bl]) any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Capture, EmptyCorpusRejected) {
+  EXPECT_THROW(capture_all_events({}), PreconditionError);
+}
+
+TEST(Capture, ProtocolNames) {
+  EXPECT_EQ(capture_protocol_name(CaptureProtocol::kMultiRun), "multi-run");
+  EXPECT_EQ(capture_protocol_name(CaptureProtocol::kMultiplex), "multiplex");
+  EXPECT_EQ(capture_protocol_name(CaptureProtocol::kOracle), "oracle");
+}
+
+}  // namespace
+}  // namespace hmd::hpc

@@ -1,0 +1,105 @@
+// Unit tests for metrics: confusion, ROC curves, AUC (including the tied-
+// score behaviour that drives the SMO/SGD robustness results).
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "support/check.h"
+
+namespace hmd::ml {
+namespace {
+
+TEST(Confusion, Rates) {
+  Confusion cm{/*tp=*/8, /*fp=*/2, /*tn=*/6, /*fn=*/4};
+  EXPECT_DOUBLE_EQ(cm.total(), 20.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.7);
+  EXPECT_NEAR(cm.tpr(), 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(cm.fpr(), 2.0 / 8.0, 1e-12);
+  EXPECT_NEAR(cm.precision(), 0.8, 1e-12);
+  EXPECT_GT(cm.f1(), 0.0);
+}
+
+TEST(Confusion, EmptyIsZeroNotNan) {
+  Confusion cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.0);
+}
+
+TEST(Roc, PerfectSeparationHasAucOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 1.0);
+}
+
+TEST(Roc, ReversedScoresHaveAucZero) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.0);
+}
+
+TEST(Roc, AllTiedScoresGiveHalf) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.5);
+}
+
+TEST(Roc, HardClassifierAucEqualsBalancedAccuracyFormula) {
+  // A hard 0/1 scorer with TPR=t and FPR=f has AUC = (1 + t - f)/2 —
+  // this is why WEKA's SMO (no calibration) shows mediocre AUC.
+  const std::vector<double> scores{1, 1, 1, 0, 0, 0, 1, 0};
+  const std::vector<int> labels{1, 1, 1, 1, 0, 0, 0, 0};
+  // t = 3/4, f = 1/4 -> AUC = (1 + 0.75 - 0.25)/2 = 0.75.
+  EXPECT_NEAR(auc(scores, labels), 0.75, 1e-12);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+  const std::vector<double> scores{0.9, 0.7, 0.6, 0.4, 0.2};
+  const std::vector<int> labels{1, 0, 1, 0, 1};
+  const auto curve = roc_curve(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(Roc, AucFromCurveMatchesRankStatistic) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    labels.push_back(rng.chance(0.4) ? 1 : 0);
+    scores.push_back(rng.uniform() * 0.7 +
+                     0.3 * static_cast<double>(labels.back()));
+  }
+  const auto curve = roc_curve(scores, labels);
+  EXPECT_NEAR(auc_from_curve(curve), auc(scores, labels), 1e-12);
+}
+
+TEST(Roc, WeightsShiftTheCurve) {
+  const std::vector<double> scores{0.9, 0.6, 0.4, 0.1};
+  const std::vector<int> labels{1, 0, 1, 0};
+  const std::vector<double> uniform{1, 1, 1, 1};
+  const std::vector<double> skewed{1, 100, 1, 1};
+  EXPECT_NE(auc(scores, labels, uniform), auc(scores, labels, skewed));
+}
+
+TEST(Roc, MismatchedSizesThrow) {
+  const std::vector<double> scores{0.5};
+  const std::vector<int> labels{1, 0};
+  EXPECT_THROW(auc(scores, labels), PreconditionError);
+}
+
+TEST(DetectorMetrics, PerformanceIsProduct) {
+  DetectorMetrics m;
+  m.accuracy = 0.8;
+  m.auc = 0.9;
+  EXPECT_NEAR(m.performance(), 0.72, 1e-12);
+}
+
+}  // namespace
+}  // namespace hmd::ml

@@ -1,0 +1,191 @@
+// Tests for the selectable microarchitecture variants: branch predictor
+// organisations and cache replacement policies.
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.h"
+#include "sim/cache.h"
+#include "sim/machine.h"
+#include "sim/workloads.h"
+#include "support/rng.h"
+
+namespace hmd::sim {
+namespace {
+
+// ------------------------------------------------------ branch predictors --
+
+class PredictorKinds
+    : public testing::TestWithParam<BranchPredictorKind> {};
+
+TEST_P(PredictorKinds, LearnsABiasedBranch) {
+  BranchPredictorConfig cfg;
+  cfg.kind = GetParam();
+  BranchPredictor bp(cfg);
+  for (int i = 0; i < 2000; ++i) bp.execute(0x400000, true);
+  EXPECT_LT(static_cast<double>(bp.direction_misses()) /
+                static_cast<double>(bp.branches()),
+            0.05);
+}
+
+TEST_P(PredictorKinds, RandomBranchesNearChance) {
+  BranchPredictorConfig cfg;
+  cfg.kind = GetParam();
+  BranchPredictor bp(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 8000; ++i) bp.execute(0x400100, rng.chance(0.5));
+  const double rate = static_cast<double>(bp.direction_misses()) /
+                      static_cast<double>(bp.branches());
+  EXPECT_GT(rate, 0.3);
+  EXPECT_LT(rate, 0.7);
+}
+
+TEST_P(PredictorKinds, ResetZeroesCounters) {
+  BranchPredictorConfig cfg;
+  cfg.kind = GetParam();
+  BranchPredictor bp(cfg);
+  bp.execute(0x1, true);
+  bp.reset();
+  EXPECT_EQ(bp.branches(), 0u);
+  EXPECT_EQ(bp.direction_misses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, PredictorKinds,
+    testing::Values(BranchPredictorKind::kGshare,
+                    BranchPredictorKind::kBimodal,
+                    BranchPredictorKind::kLocalHistory,
+                    BranchPredictorKind::kTournament),
+    [](const testing::TestParamInfo<BranchPredictorKind>& tpi) {
+      return std::string(branch_predictor_kind_name(tpi.param));
+    });
+
+TEST(PredictorKindsSpecific, LocalHistoryBeatsBimodalOnAlternation) {
+  // A strictly alternating branch defeats per-pc 2-bit counters but is
+  // trivial for a local-history predictor.
+  BranchPredictorConfig bimodal_cfg;
+  bimodal_cfg.kind = BranchPredictorKind::kBimodal;
+  BranchPredictorConfig local_cfg;
+  local_cfg.kind = BranchPredictorKind::kLocalHistory;
+  BranchPredictor bimodal(bimodal_cfg), local(local_cfg);
+  for (int i = 0; i < 4000; ++i) {
+    bimodal.execute(0x2000, i % 2 == 0);
+    local.execute(0x2000, i % 2 == 0);
+  }
+  EXPECT_GT(bimodal.direction_misses(), local.direction_misses() * 2);
+}
+
+TEST(PredictorKindsSpecific, TournamentTracksTheBetterComponent) {
+  // Alternation: gshare/local-style history wins; the tournament must not
+  // be much worse than gshare alone.
+  BranchPredictorConfig tour_cfg;
+  tour_cfg.kind = BranchPredictorKind::kTournament;
+  BranchPredictorConfig gshare_cfg;
+  BranchPredictor tour(tour_cfg), gshare(gshare_cfg);
+  for (int i = 0; i < 6000; ++i) {
+    tour.execute(0x3000, i % 2 == 0);
+    gshare.execute(0x3000, i % 2 == 0);
+  }
+  EXPECT_LT(tour.direction_misses(),
+            gshare.direction_misses() + 1000);
+}
+
+// ---------------------------------------------------- replacement policies --
+
+class Policies : public testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(Policies, BasicHitMissAccounting) {
+  CacheGeometry geo{16, 4, 64};
+  geo.policy = GetParam();
+  Cache c(geo);
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.accesses(), 2u);
+}
+
+TEST_P(Policies, ResidentWorkingSetEventuallyStopsMissing) {
+  // Half-capacity working set: LRU/FIFO/PLRU retain it exactly; random
+  // may evict resident lines occasionally, so allow slack there.
+  CacheGeometry geo{16, 4, 64};
+  geo.policy = GetParam();
+  Cache c(geo);
+  const std::uint64_t lines = 32;
+  for (int round = 0; round < 6; ++round)
+    for (std::uint64_t l = 0; l < lines; ++l) c.access(l * 64);
+  if (GetParam() == ReplacementPolicy::kRandom) {
+    EXPECT_LT(c.misses(), c.accesses() / 2);
+  } else {
+    EXPECT_EQ(c.misses(), lines);
+  }
+}
+
+TEST_P(Policies, PolicyNameIsStable) {
+  EXPECT_FALSE(replacement_policy_name(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, Policies,
+    testing::Values(ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+                    ReplacementPolicy::kRandom,
+                    ReplacementPolicy::kTreePlru),
+    [](const testing::TestParamInfo<ReplacementPolicy>& tpi) {
+      std::string name(replacement_policy_name(tpi.param));
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+TEST(PolicySpecific, FifoIgnoresHitsWhenChoosingVictims) {
+  // One set, 2 ways. Insert A, B; re-touch A (hit); insert C.
+  // LRU evicts B (least recently used); FIFO evicts A (oldest insert).
+  CacheGeometry lru_geo{1, 2, 64};
+  CacheGeometry fifo_geo{1, 2, 64};
+  fifo_geo.policy = ReplacementPolicy::kFifo;
+  Cache lru(lru_geo), fifo(fifo_geo);
+  for (Cache* c : {&lru, &fifo}) {
+    c->access(0 * 64);   // A
+    c->access(1 * 64);   // B
+    c->access(0 * 64);   // touch A
+    c->access(2 * 64);   // C evicts ...
+  }
+  EXPECT_TRUE(lru.probe(0 * 64));    // LRU kept A
+  EXPECT_FALSE(lru.probe(1 * 64));   // ... evicted B
+  EXPECT_FALSE(fifo.probe(0 * 64));  // FIFO evicted A
+  EXPECT_TRUE(fifo.probe(1 * 64));   // ... kept B
+}
+
+TEST(PolicySpecific, TreePlruApproximatesLruOnSequentialFill) {
+  CacheGeometry geo{1, 4, 64};
+  geo.policy = ReplacementPolicy::kTreePlru;
+  Cache c(geo);
+  for (std::uint64_t l = 0; l < 4; ++l) c.access(l * 64);
+  // Way 0 is the stalest path; inserting a 5th line must not evict the
+  // most recently used line (way 3).
+  c.access(4 * 64);
+  EXPECT_TRUE(c.probe(3 * 64));
+}
+
+// -------------------------------------------- machine with variant configs --
+
+TEST(MachineVariants, EveryConfigurationProducesConsistentCounts) {
+  for (const auto pk :
+       {BranchPredictorKind::kGshare, BranchPredictorKind::kTournament}) {
+    for (const auto rp :
+         {ReplacementPolicy::kLru, ReplacementPolicy::kTreePlru}) {
+      MachineConfig cfg;
+      cfg.branch.kind = pk;
+      cfg.l1d.policy = rp;
+      cfg.llc.policy = rp;
+      Machine m(cfg);
+      const auto app = make_benign(0, 0, 41, 3);
+      m.start_run(app, 0);
+      while (m.running()) {
+        const auto c = m.next_interval();
+        EXPECT_LE(c[Event::kBranchMisses], c[Event::kBranchInstructions]);
+        EXPECT_LE(c[Event::kL1DcacheLoadMisses], c[Event::kL1DcacheLoads]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmd::sim
