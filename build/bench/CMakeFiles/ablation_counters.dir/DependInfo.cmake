@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_counters.cpp" "bench/CMakeFiles/ablation_counters.dir/ablation_counters.cpp.o" "gcc" "bench/CMakeFiles/ablation_counters.dir/ablation_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/hmd_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hmd_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hmd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

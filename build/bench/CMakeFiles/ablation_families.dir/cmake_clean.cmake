@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_families.dir/ablation_families.cpp.o"
+  "CMakeFiles/ablation_families.dir/ablation_families.cpp.o.d"
+  "ablation_families"
+  "ablation_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_roc.dir/fig4_roc.cpp.o"
+  "CMakeFiles/fig4_roc.dir/fig4_roc.cpp.o.d"
+  "fig4_roc"
+  "fig4_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_auc.dir/table2_auc.cpp.o"
+  "CMakeFiles/table2_auc.dir/table2_auc.cpp.o.d"
+  "table2_auc"
+  "table2_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hardware.dir/table3_hardware.cpp.o"
+  "CMakeFiles/table3_hardware.dir/table3_hardware.cpp.o.d"
+  "table3_hardware"
+  "table3_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

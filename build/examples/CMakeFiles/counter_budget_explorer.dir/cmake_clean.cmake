@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_budget_explorer.dir/counter_budget_explorer.cpp.o"
+  "CMakeFiles/counter_budget_explorer.dir/counter_budget_explorer.cpp.o.d"
+  "counter_budget_explorer"
+  "counter_budget_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_budget_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

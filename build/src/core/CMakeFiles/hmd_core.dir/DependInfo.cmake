@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/hmd_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/hmd_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/family.cpp" "src/core/CMakeFiles/hmd_core.dir/family.cpp.o" "gcc" "src/core/CMakeFiles/hmd_core.dir/family.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/hmd_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/hmd_core.dir/online.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/hmd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/hmd_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hmd_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

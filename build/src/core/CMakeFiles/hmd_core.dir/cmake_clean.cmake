@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmd_core.dir/experiment.cpp.o"
+  "CMakeFiles/hmd_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/hmd_core.dir/family.cpp.o"
+  "CMakeFiles/hmd_core.dir/family.cpp.o.d"
+  "CMakeFiles/hmd_core.dir/online.cpp.o"
+  "CMakeFiles/hmd_core.dir/online.cpp.o.d"
+  "libhmd_core.a"
+  "libhmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/capture.cpp" "src/hpc/CMakeFiles/hmd_hpc.dir/capture.cpp.o" "gcc" "src/hpc/CMakeFiles/hmd_hpc.dir/capture.cpp.o.d"
+  "/root/repo/src/hpc/container.cpp" "src/hpc/CMakeFiles/hmd_hpc.dir/container.cpp.o" "gcc" "src/hpc/CMakeFiles/hmd_hpc.dir/container.cpp.o.d"
+  "/root/repo/src/hpc/pmu.cpp" "src/hpc/CMakeFiles/hmd_hpc.dir/pmu.cpp.o" "gcc" "src/hpc/CMakeFiles/hmd_hpc.dir/pmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

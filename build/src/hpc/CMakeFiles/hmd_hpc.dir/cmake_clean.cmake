@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmd_hpc.dir/capture.cpp.o"
+  "CMakeFiles/hmd_hpc.dir/capture.cpp.o.d"
+  "CMakeFiles/hmd_hpc.dir/container.cpp.o"
+  "CMakeFiles/hmd_hpc.dir/container.cpp.o.d"
+  "CMakeFiles/hmd_hpc.dir/pmu.cpp.o"
+  "CMakeFiles/hmd_hpc.dir/pmu.cpp.o.d"
+  "libhmd_hpc.a"
+  "libhmd_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmd_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

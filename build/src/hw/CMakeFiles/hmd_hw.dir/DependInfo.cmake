@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/hls_codegen.cpp" "src/hw/CMakeFiles/hmd_hw.dir/hls_codegen.cpp.o" "gcc" "src/hw/CMakeFiles/hmd_hw.dir/hls_codegen.cpp.o.d"
+  "/root/repo/src/hw/resources.cpp" "src/hw/CMakeFiles/hmd_hw.dir/resources.cpp.o" "gcc" "src/hw/CMakeFiles/hmd_hw.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/hmd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

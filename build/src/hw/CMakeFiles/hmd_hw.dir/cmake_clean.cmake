@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmd_hw.dir/hls_codegen.cpp.o"
+  "CMakeFiles/hmd_hw.dir/hls_codegen.cpp.o.d"
+  "CMakeFiles/hmd_hw.dir/resources.cpp.o"
+  "CMakeFiles/hmd_hw.dir/resources.cpp.o.d"
+  "libhmd_hw.a"
+  "libhmd_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmd_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

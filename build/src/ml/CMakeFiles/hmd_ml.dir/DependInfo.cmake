@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cpp" "src/ml/CMakeFiles/hmd_ml.dir/adaboost.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/adaboost.cpp.o.d"
+  "/root/repo/src/ml/arff.cpp" "src/ml/CMakeFiles/hmd_ml.dir/arff.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/arff.cpp.o.d"
+  "/root/repo/src/ml/bagging.cpp" "src/ml/CMakeFiles/hmd_ml.dir/bagging.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/bagging.cpp.o.d"
+  "/root/repo/src/ml/bayesnet.cpp" "src/ml/CMakeFiles/hmd_ml.dir/bayesnet.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/bayesnet.cpp.o.d"
+  "/root/repo/src/ml/calibration.cpp" "src/ml/CMakeFiles/hmd_ml.dir/calibration.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/calibration.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/hmd_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/hmd_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/discretize.cpp" "src/ml/CMakeFiles/hmd_ml.dir/discretize.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/discretize.cpp.o.d"
+  "/root/repo/src/ml/factory.cpp" "src/ml/CMakeFiles/hmd_ml.dir/factory.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/factory.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/ml/CMakeFiles/hmd_ml.dir/feature_selection.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/j48.cpp" "src/ml/CMakeFiles/hmd_ml.dir/j48.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/j48.cpp.o.d"
+  "/root/repo/src/ml/jrip.cpp" "src/ml/CMakeFiles/hmd_ml.dir/jrip.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/jrip.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/hmd_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/hmd_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/oner.cpp" "src/ml/CMakeFiles/hmd_ml.dir/oner.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/oner.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/hmd_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/reptree.cpp" "src/ml/CMakeFiles/hmd_ml.dir/reptree.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/reptree.cpp.o.d"
+  "/root/repo/src/ml/sgd.cpp" "src/ml/CMakeFiles/hmd_ml.dir/sgd.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/sgd.cpp.o.d"
+  "/root/repo/src/ml/smo.cpp" "src/ml/CMakeFiles/hmd_ml.dir/smo.cpp.o" "gcc" "src/ml/CMakeFiles/hmd_ml.dir/smo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

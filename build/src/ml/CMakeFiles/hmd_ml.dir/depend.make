@@ -1,0 +1,2 @@
+# Empty dependencies file for hmd_ml.
+# This may be replaced when dependencies are built.

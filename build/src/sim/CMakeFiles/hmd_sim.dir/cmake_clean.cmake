@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmd_sim.dir/branch_predictor.cpp.o"
+  "CMakeFiles/hmd_sim.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/hmd_sim.dir/cache.cpp.o"
+  "CMakeFiles/hmd_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/hmd_sim.dir/events.cpp.o"
+  "CMakeFiles/hmd_sim.dir/events.cpp.o.d"
+  "CMakeFiles/hmd_sim.dir/machine.cpp.o"
+  "CMakeFiles/hmd_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/hmd_sim.dir/workloads.cpp.o"
+  "CMakeFiles/hmd_sim.dir/workloads.cpp.o.d"
+  "libhmd_sim.a"
+  "libhmd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmd_sim.a"
+)

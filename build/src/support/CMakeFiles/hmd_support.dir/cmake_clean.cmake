@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmd_support.dir/stats.cpp.o"
+  "CMakeFiles/hmd_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hmd_support.dir/table.cpp.o"
+  "CMakeFiles/hmd_support.dir/table.cpp.o.d"
+  "libhmd_support.a"
+  "libhmd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

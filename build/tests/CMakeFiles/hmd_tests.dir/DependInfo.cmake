@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arff_family.cpp" "tests/CMakeFiles/hmd_tests.dir/test_arff_family.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_arff_family.cpp.o.d"
+  "/root/repo/tests/test_classifiers.cpp" "tests/CMakeFiles/hmd_tests.dir/test_classifiers.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_classifiers.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/hmd_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/hmd_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_deployment.cpp" "tests/CMakeFiles/hmd_tests.dir/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_deployment.cpp.o.d"
+  "/root/repo/tests/test_discretize.cpp" "tests/CMakeFiles/hmd_tests.dir/test_discretize.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_discretize.cpp.o.d"
+  "/root/repo/tests/test_ensembles.cpp" "tests/CMakeFiles/hmd_tests.dir/test_ensembles.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_ensembles.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/hmd_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_feature_selection.cpp" "tests/CMakeFiles/hmd_tests.dir/test_feature_selection.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_feature_selection.cpp.o.d"
+  "/root/repo/tests/test_hls_codegen.cpp" "tests/CMakeFiles/hmd_tests.dir/test_hls_codegen.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_hls_codegen.cpp.o.d"
+  "/root/repo/tests/test_hpc.cpp" "tests/CMakeFiles/hmd_tests.dir/test_hpc.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_hpc.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/hmd_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/hmd_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_microarch_variants.cpp" "tests/CMakeFiles/hmd_tests.dir/test_microarch_variants.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_microarch_variants.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hmd_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hmd_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/hmd_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_trees_rules.cpp" "tests/CMakeFiles/hmd_tests.dir/test_trees_rules.cpp.o" "gcc" "tests/CMakeFiles/hmd_tests.dir/test_trees_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/hmd_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hmd_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hmd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
