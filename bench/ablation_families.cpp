@@ -59,11 +59,14 @@ int main(int argc, char** argv) {
       }
     }
     const std::string name = truth.empty() ? "(benign)" : truth;
-    table.add_row({name, std::to_string(total),
-                   TextTable::num(100.0 * correct / total, 1),
-                   truth.empty()
-                       ? TextTable::num(100.0 * flagged / total, 1) + " (FP)"
-                       : TextTable::num(100.0 * flagged / total, 1),
+    const auto pct_of_total = [total](std::size_t n) {
+      return TextTable::num(100.0 * static_cast<double>(n) /
+                                static_cast<double>(total),
+                            1);
+    };
+    table.add_row({name, std::to_string(total), pct_of_total(correct),
+                   truth.empty() ? pct_of_total(flagged) + " (FP)"
+                                 : pct_of_total(flagged),
                    top_other_n > 0 ? top_other : "-"});
   }
   table.print(std::cout);

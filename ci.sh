@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verification run twice.
+#
+#   1. Release, warnings-as-errors — the production configuration must
+#      compile warning-clean under -Wall -Wextra -Wshadow -Wconversion
+#      -Wdouble-promotion -Wold-style-cast.
+#   2. Debug, AddressSanitizer + UndefinedBehaviorSanitizer — the full
+#      ctest suite must pass with zero sanitizer reports. Recovery is
+#      disabled at compile time (-fno-sanitize-recover=all) and
+#      halt_on_error is set here, so any report fails the suite.
+#
+# Both builds use their own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
+# or JOBS (default: all cores).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== [1/2] Release + HMD_WARNINGS_AS_ERRORS=ON ==="
+cmake -B build-ci-release -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DHMD_WARNINGS_AS_ERRORS=ON
+cmake --build build-ci-release -j "${JOBS}"
+(cd build-ci-release && ctest --output-on-failure -j "${JOBS}")
+
+echo "=== [1b] hmd_lint: analyzers over the experiment grid (quick) ==="
+./build-ci-release/tools/hmd_lint --quick
+
+echo "=== [2/2] Debug + HMD_SANITIZE=address;undefined ==="
+cmake -B build-ci-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DHMD_SANITIZE="address;undefined"
+cmake --build build-ci-asan -j "${JOBS}"
+(cd build-ci-asan && \
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --output-on-failure -j "${JOBS}")
+
+echo "=== CI OK ==="

@@ -1,0 +1,24 @@
+# clang-tidy integration.
+#
+#   cmake -B build -S . -DHMD_ENABLE_CLANG_TIDY=ON
+#
+# runs clang-tidy (configured by the repo-root .clang-tidy) on every
+# translation unit as it compiles. The option degrades to a warning when no
+# clang-tidy binary is installed, so the default toolchain (gcc-only
+# containers included) keeps building.
+
+option(HMD_ENABLE_CLANG_TIDY "Run clang-tidy on every compiled TU" OFF)
+
+if(HMD_ENABLE_CLANG_TIDY)
+  find_program(HMD_CLANG_TIDY_EXE NAMES clang-tidy)
+  if(HMD_CLANG_TIDY_EXE)
+    message(STATUS "hmd: clang-tidy enabled (${HMD_CLANG_TIDY_EXE})")
+    set(CMAKE_CXX_CLANG_TIDY "${HMD_CLANG_TIDY_EXE}")
+    # clang-tidy needs a compilation database for header analysis too.
+    set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+  else()
+    message(WARNING
+      "HMD_ENABLE_CLANG_TIDY=ON but no clang-tidy binary was found; "
+      "continuing without it")
+  endif()
+endif()

@@ -1,0 +1,40 @@
+# Sanitizer wiring for all hmd targets.
+#
+# Set HMD_SANITIZE to a semicolon- or comma-separated subset of
+# {address, undefined, thread, leak}, e.g.
+#
+#   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+#         -DHMD_SANITIZE="address;undefined"
+#
+# The flags are applied globally (compile and link) so every library,
+# test, bench, and example target — and therefore the whole ctest suite —
+# runs instrumented. Recovery is disabled: any UBSan report aborts the
+# process, which turns a sanitizer finding into a ctest failure instead of
+# a log line nobody reads.
+
+set(HMD_SANITIZE "" CACHE STRING
+    "Semicolon/comma-separated sanitizers: address;undefined;thread;leak")
+
+if(HMD_SANITIZE)
+  string(REPLACE "," ";" _hmd_sanitizers "${HMD_SANITIZE}")
+  set(_hmd_allowed address undefined thread leak)
+  foreach(_san IN LISTS _hmd_sanitizers)
+    if(NOT _san IN_LIST _hmd_allowed)
+      message(FATAL_ERROR
+        "HMD_SANITIZE: unknown sanitizer '${_san}' "
+        "(allowed: ${_hmd_allowed})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _hmd_sanitizers AND "address" IN_LIST _hmd_sanitizers)
+    message(FATAL_ERROR
+      "HMD_SANITIZE: 'thread' cannot be combined with 'address'")
+  endif()
+
+  string(REPLACE ";" "," _hmd_sanitize_arg "${_hmd_sanitizers}")
+  message(STATUS "hmd: building with -fsanitize=${_hmd_sanitize_arg}")
+  add_compile_options(
+    -fsanitize=${_hmd_sanitize_arg}
+    -fno-sanitize-recover=all
+    -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${_hmd_sanitize_arg})
+endif()

@@ -1,0 +1,178 @@
+#include "analysis/model_ir.h"
+
+#include "ml/adaboost.h"
+#include "ml/bagging.h"
+#include "ml/bayesnet.h"
+#include "ml/j48.h"
+#include "ml/jrip.h"
+#include "ml/mlp.h"
+#include "ml/oner.h"
+#include "ml/reptree.h"
+#include "ml/sgd.h"
+#include "ml/smo.h"
+#include "support/check.h"
+
+namespace hmd::analysis {
+namespace {
+
+template <typename Tree>
+TreeIr lower_tree(const Tree& tree) {
+  TreeIr ir;
+  for (const auto& node : tree.flatten()) {
+    TreeNodeIr out;
+    out.leaf = node.leaf;
+    out.feature = node.feature;
+    out.threshold = node.threshold;
+    out.left = node.left;
+    out.right = node.right;
+    out.proba = node.proba;
+    ir.nodes.push_back(out);
+  }
+  return ir;
+}
+
+RuleListIr lower_jrip(const ml::JRip& jrip) {
+  RuleListIr ir;
+  ir.target_class = jrip.target_class();
+  ir.default_proba = jrip.default_proba();
+  for (const auto& rule : jrip.rules()) {
+    RuleIr out;
+    out.precision = rule.precision;
+    for (const auto& cond : rule.conditions)
+      out.conditions.push_back({cond.feature, cond.leq, cond.value});
+    ir.rules.push_back(std::move(out));
+  }
+  return ir;
+}
+
+BucketRuleIr lower_oner(const ml::OneR& oner) {
+  BucketRuleIr ir;
+  ir.feature = oner.chosen_feature();
+  ir.cuts = oner.bucket_cuts();
+  ir.proba = oner.bucket_proba();
+  return ir;
+}
+
+template <typename Linear>
+LinearIr lower_linear(const Linear& linear) {
+  LinearIr ir;
+  ir.weights = linear.weights();
+  ir.bias = linear.bias();
+  ir.mean = linear.input_mean();
+  ir.stdev = linear.input_stdev();
+  ir.hard_output = true;
+  return ir;
+}
+
+MlpIr lower_mlp(const ml::Mlp& mlp) {
+  MlpIr ir;
+  ir.inputs = mlp.num_inputs();
+  ir.hidden = mlp.hidden_units();
+  ir.w1 = mlp.hidden_weights();
+  ir.b1 = mlp.hidden_bias();
+  ir.w2 = mlp.output_weights();
+  ir.b2 = mlp.output_bias();
+  ir.mean = mlp.input_mean();
+  ir.stdev = mlp.input_stdev();
+  return ir;
+}
+
+BayesNetIr lower_bayesnet(const ml::BayesNet& bn) {
+  BayesNetIr ir;
+  ir.log_prior[0] = bn.log_prior(0);
+  ir.log_prior[1] = bn.log_prior(1);
+  for (std::size_t f = 0; f < bn.num_attributes(); ++f) {
+    CptIr cpt;
+    cpt.cuts = bn.cpt_cuts(f);
+    cpt.parent = bn.cpt_parent(f) == ml::BayesNet::kNoParent
+                     ? CptIr::kNoParent
+                     : bn.cpt_parent(f);
+    cpt.log_prob = bn.cpt_log_prob(f);
+    ir.cpts.push_back(std::move(cpt));
+  }
+  return ir;
+}
+
+EnsembleIr lower_adaboost(const ml::AdaBoostM1& boost) {
+  EnsembleIr ir;
+  ir.kind = EnsembleIr::Kind::kAdaBoost;
+  double total = 0.0;
+  for (std::size_t m = 0; m < boost.num_members(); ++m)
+    total += boost.member_alpha(m);
+  for (std::size_t m = 0; m < boost.num_members(); ++m) {
+    ir.member_weights.push_back(
+        total > 0.0 ? boost.member_alpha(m) / total : 0.0);
+    ir.member_raw_weights.push_back(boost.member_alpha(m));
+    ir.members.push_back(extract_ir(boost.member(m)));
+  }
+  return ir;
+}
+
+EnsembleIr lower_bagging(const ml::Bagging& bag) {
+  EnsembleIr ir;
+  ir.kind = EnsembleIr::Kind::kBagging;
+  const double uniform =
+      bag.num_members() > 0
+          ? 1.0 / static_cast<double>(bag.num_members())
+          : 0.0;
+  for (std::size_t m = 0; m < bag.num_members(); ++m) {
+    ir.member_weights.push_back(uniform);
+    ir.member_raw_weights.push_back(1.0);
+    ir.members.push_back(extract_ir(bag.member(m)));
+  }
+  return ir;
+}
+
+}  // namespace
+
+bool ir_supported(const ml::Classifier& model) {
+  if (dynamic_cast<const ml::OneR*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::J48*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::RepTree*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::JRip*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::Sgd*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::Smo*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::Mlp*>(&model) != nullptr) return true;
+  if (dynamic_cast<const ml::BayesNet*>(&model) != nullptr) return true;
+  if (const auto* boost = dynamic_cast<const ml::AdaBoostM1*>(&model))
+    return boost->num_members() == 0 || ir_supported(boost->member(0));
+  if (const auto* bag = dynamic_cast<const ml::Bagging*>(&model))
+    return bag->num_members() == 0 || ir_supported(bag->member(0));
+  return false;
+}
+
+ModelIr extract_ir(const ml::Classifier& model) {
+  ModelIr ir;
+  ir.name = model.name();
+  // complexity() doubles as the trained-model gate: every classifier
+  // HMD_REQUIREs trained_ there, so untrained models throw before any
+  // structural accessor is touched.
+  ir.reported = model.complexity();
+
+  if (const auto* oner = dynamic_cast<const ml::OneR*>(&model))
+    ir.structure = lower_oner(*oner);
+  else if (const auto* j48 = dynamic_cast<const ml::J48*>(&model))
+    ir.structure = lower_tree(*j48);
+  else if (const auto* rep = dynamic_cast<const ml::RepTree*>(&model))
+    ir.structure = lower_tree(*rep);
+  else if (const auto* jrip = dynamic_cast<const ml::JRip*>(&model))
+    ir.structure = lower_jrip(*jrip);
+  else if (const auto* sgd = dynamic_cast<const ml::Sgd*>(&model))
+    ir.structure = lower_linear(*sgd);
+  else if (const auto* smo = dynamic_cast<const ml::Smo*>(&model))
+    ir.structure = lower_linear(*smo);
+  else if (const auto* mlp = dynamic_cast<const ml::Mlp*>(&model))
+    ir.structure = lower_mlp(*mlp);
+  else if (const auto* bn = dynamic_cast<const ml::BayesNet*>(&model))
+    ir.structure = lower_bayesnet(*bn);
+  else if (const auto* boost = dynamic_cast<const ml::AdaBoostM1*>(&model))
+    ir.structure = lower_adaboost(*boost);
+  else if (const auto* bag = dynamic_cast<const ml::Bagging*>(&model))
+    ir.structure = lower_bagging(*bag);
+  else
+    throw PreconditionError("model IR extraction does not support model: " +
+                            model.name());
+  return ir;
+}
+
+}  // namespace hmd::analysis

@@ -1,0 +1,139 @@
+// Intermediate representation of trained detector structure, extracted from
+// a live ml::Classifier for integrity analysis.
+//
+// The verifier (model_verifier.h) and the HLS checker (hls_checker.h) never
+// poke at classifier internals directly: extract_ir() lowers every model
+// family the pipeline trains — the eight general learners plus
+// AdaBoost/Bagging ensembles of them — into the plain-data structures below.
+// Tests exercise the analyzers by constructing deliberately corrupted IR
+// (NaN thresholds, orphan tree nodes, zero-weight ensemble members) that a
+// correct training run could never produce.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace hmd::analysis {
+
+/// One node of a flattened decision tree; index 0 is the root.
+struct TreeNodeIr {
+  bool leaf = true;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  std::size_t left = 0;   ///< child index for x[feature] <= threshold
+  std::size_t right = 0;  ///< child index for x[feature] >  threshold
+  double proba = 0.5;     ///< P(malware) at leaves
+};
+
+/// J48 / REPTree: a flat array of nodes rooted at index 0.
+struct TreeIr {
+  std::vector<TreeNodeIr> nodes;
+};
+
+/// One conjunct of a JRip rule antecedent.
+struct RuleConditionIr {
+  std::size_t feature = 0;
+  bool leq = true;  ///< true: x[f] <= value, false: x[f] >= value
+  double value = 0.0;
+};
+
+/// One JRip rule: conjunctive antecedent, smoothed precision when it fires.
+struct RuleIr {
+  std::vector<RuleConditionIr> conditions;
+  double precision = 1.0;
+};
+
+/// JRip: an ordered decision list with a default.
+struct RuleListIr {
+  std::vector<RuleIr> rules;
+  int target_class = 1;        ///< class the rules predict
+  double default_proba = 0.5;  ///< P(malware) when no rule fires
+};
+
+/// OneR: a single-feature bucketed rule.
+struct BucketRuleIr {
+  std::size_t feature = 0;
+  std::vector<double> cuts;   ///< ascending bucket boundaries
+  std::vector<double> proba;  ///< P(malware) per bucket (cuts.size() + 1)
+};
+
+/// SGD / SMO: a linear margin over standardized inputs.
+/// margin = sum_f weights[f] * (x[f] - mean[f]) / stdev[f] + bias.
+struct LinearIr {
+  std::vector<double> weights;
+  double bias = 0.0;
+  std::vector<double> mean;
+  std::vector<double> stdev;
+  bool hard_output = true;  ///< emits 0/1 posteriors (hinge-loss behaviour)
+};
+
+/// MLP: one hidden sigmoid layer over standardized inputs.
+struct MlpIr {
+  std::size_t inputs = 0;
+  std::size_t hidden = 0;
+  std::vector<double> w1;  ///< hidden × inputs, row-major
+  std::vector<double> b1;  ///< hidden
+  std::vector<double> w2;  ///< hidden
+  double b2 = 0.0;
+  std::vector<double> mean;
+  std::vector<double> stdev;
+};
+
+/// One attribute's conditional probability table in a BayesNet.
+struct CptIr {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  std::vector<double> cuts;  ///< discretizer boundaries, ascending
+  std::size_t parent = kNoParent;  ///< attribute index, or kNoParent
+  /// log P(bin | class, parent_bin): [class][parent_bin][bin]; the
+  /// parent_bin dimension is 1 when there is no parent.
+  std::vector<std::vector<std::vector<double>>> log_prob;
+};
+
+/// BayesNet: class log-priors plus one CPT per attribute.
+struct BayesNetIr {
+  double log_prior[2] = {0.0, 0.0};
+  std::vector<CptIr> cpts;
+};
+
+struct ModelIr;
+
+/// AdaBoost / Bagging: weighted members (weights normalised to sum to 1;
+/// Bagging members carry uniform weight).
+struct EnsembleIr {
+  enum class Kind { kAdaBoost, kBagging };
+
+  Kind kind = Kind::kBagging;
+  std::vector<double> member_weights;  ///< one per member, sums to ~1
+  /// Unnormalised vote weights as the model stores them (AdaBoost alphas;
+  /// 1.0 per member for Bagging) — what the HLS generator quantizes.
+  std::vector<double> member_raw_weights;
+  std::vector<ModelIr> members;
+};
+
+using ModelStructure = std::variant<TreeIr, RuleListIr, BucketRuleIr,
+                                    LinearIr, MlpIr, BayesNetIr, EnsembleIr>;
+
+/// A model's structure plus the complexity the classifier *claims* —
+/// the verifier recomputes the latter from the former and flags drift.
+struct ModelIr {
+  std::string name;
+  ModelStructure structure;
+  ml::ModelComplexity reported;
+};
+
+/// Lower a trained classifier into IR. Supports the eight general
+/// classifiers and AdaBoost/Bagging ensembles of them.
+///
+/// Throws PreconditionError for untrained models (the classifier's own
+/// structural accessors enforce this) and for unknown classifier types.
+ModelIr extract_ir(const ml::Classifier& model);
+
+/// True if extract_ir() can lower this classifier.
+bool ir_supported(const ml::Classifier& model);
+
+}  // namespace hmd::analysis

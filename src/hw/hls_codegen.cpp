@@ -1,8 +1,10 @@
 #include "hw/hls_codegen.h"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "ml/adaboost.h"
 #include "ml/bagging.h"
@@ -37,32 +39,41 @@ struct Emitter {
   /// `int <name>(const int32_t x[])`; returns the helper's name.
   std::string emit_model(const ml::Classifier& model);
 
-  std::string emit_oner(const ml::OneR& oner);
+  /// Emit a helper returning P(malware) in Q(fraction_bits) fixed point —
+  /// what Bagging members must expose so the ensemble can average
+  /// probabilities exactly like Bagging::predict_proba().
+  std::string emit_model_proba(const ml::Classifier& model);
+
+  std::string emit_oner(const ml::OneR& oner, bool proba);
   template <typename Tree>
-  std::string emit_tree(const Tree& tree);
-  std::string emit_jrip(const ml::JRip& jrip);
+  std::string emit_tree(const Tree& tree, bool proba);
+  std::string emit_jrip(const ml::JRip& jrip, bool proba);
   template <typename Linear>
-  std::string emit_linear(const Linear& linear);
-  std::string emit_adaboost(const ml::AdaBoostM1& boost);
-  std::string emit_bagging(const ml::Bagging& bag);
+  std::string emit_linear(const Linear& linear, bool proba);
+  std::string emit_adaboost(const ml::AdaBoostM1& boost, bool proba);
+  std::string emit_bagging(const ml::Bagging& bag, bool proba);
 };
 
-std::string Emitter::emit_oner(const ml::OneR& oner) {
+std::string Emitter::emit_oner(const ml::OneR& oner, bool proba) {
   const std::string name = fresh("oner");
   os << "static int " << name << "(const int32_t x[]) {\n"
      << "  const int32_t v = x[" << oner.chosen_feature() << "];\n";
   const auto& cuts = oner.bucket_cuts();
-  const auto& proba = oner.bucket_proba();
-  // Cascaded compares: first cut >= v selects the bucket.
+  const auto& probs = oner.bucket_proba();
+  const auto bucket_value = [&](double p) {
+    return proba ? fx(p, opt.fraction_bits) : (p >= 0.5 ? 1LL : 0LL);
+  };
+  // Cascaded compares; strictly-below matches OneR's upper_bound bucket
+  // assignment (a value equal to a boundary belongs to the bucket above).
   for (std::size_t b = 0; b < cuts.size(); ++b)
-    os << "  if (v <= " << fx(cuts[b], opt.fraction_bits) << "LL) return "
-       << (proba[b] >= 0.5 ? 1 : 0) << ";\n";
-  os << "  return " << (proba.back() >= 0.5 ? 1 : 0) << ";\n}\n\n";
+    os << "  if (v < " << fx(cuts[b], opt.fraction_bits) << "LL) return "
+       << bucket_value(probs[b]) << ";\n";
+  os << "  return " << bucket_value(probs.back()) << ";\n}\n\n";
   return name;
 }
 
 template <typename Tree>
-std::string Emitter::emit_tree(const Tree& tree) {
+std::string Emitter::emit_tree(const Tree& tree, bool proba) {
   const std::string name = fresh("tree");
   const auto nodes = tree.flatten();
   // Iterative node walk (HLS-friendly: bounded loop, no recursion).
@@ -76,62 +87,92 @@ std::string Emitter::emit_tree(const Tree& tree) {
     os << (i ? "," : "")
        << (nodes[i].leaf ? -(nodes[i].proba >= 0.5 ? 2 : 1)
                          : static_cast<int>(nodes[i].feature));
-  os << "};\n  static const uint16_t kid[" << nodes.size() << "][2] = {";
+  os << "};\n";
+  if (proba) {
+    os << "  static const int32_t prob[" << nodes.size() << "] = {";
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      os << (i ? "," : "")
+         << fx(nodes[i].leaf ? nodes[i].proba : 0.0, opt.fraction_bits)
+         << "LL";
+    os << "};\n";
+  }
+  os << "  static const uint16_t kid[" << nodes.size() << "][2] = {";
   for (std::size_t i = 0; i < nodes.size(); ++i)
     os << (i ? "," : "") << "{" << nodes[i].left << "," << nodes[i].right
        << "}";
   os << "};\n"
      << "  uint16_t n = 0;\n"
      << "  for (int depth = 0; depth < " << nodes.size() << "; ++depth) {\n"
-     << "    const int f = feat[n];\n"
-     << "    if (f < 0) return -f - 1;  /* leaf: -1 benign, -2 malware */\n"
-     << "    n = kid[n][x[f] <= thr[n] ? 0 : 1];\n"
+     << "    const int f = feat[n];\n";
+  if (proba)
+    os << "    if (f < 0) return prob[n];  /* leaf: P(malware) in Q"
+       << opt.fraction_bits << " */\n";
+  else
+    os << "    if (f < 0) return -f - 1;  /* leaf: -1 benign, -2 malware */\n";
+  os << "    n = kid[n][x[f] <= thr[n] ? 0 : 1];\n"
      << "  }\n  return 0;\n}\n\n";
   return name;
 }
 
-std::string Emitter::emit_jrip(const ml::JRip& jrip) {
+std::string Emitter::emit_jrip(const ml::JRip& jrip, bool proba) {
   const std::string name = fresh("jrip");
   os << "static int " << name << "(const int32_t x[]) {\n";
   const int fire = jrip.target_class();
+  const auto outcome = [&](double p_malware) {
+    return proba ? fx(p_malware, opt.fraction_bits)
+                 : (p_malware >= 0.5 ? 1LL : 0LL);
+  };
   for (const auto& rule : jrip.rules()) {
     os << "  if (1";
     for (const auto& cond : rule.conditions)
       os << " && x[" << cond.feature << "] " << (cond.leq ? "<=" : ">=")
          << " " << fx(cond.value, opt.fraction_bits) << "LL";
-    os << ") return " << (fire == 1 ? (rule.precision >= 0.5 ? 1 : 0)
-                                    : (rule.precision >= 0.5 ? 0 : 1))
-       << ";\n";
+    os << ") return "
+       << outcome(fire == 1 ? rule.precision : 1.0 - rule.precision) << ";\n";
   }
-  os << "  return " << (fire == 1 ? 0 : 1) << ";  /* default class */\n"
+  os << "  return " << outcome(jrip.default_proba())
+     << ";  /* default class */\n"
      << "}\n\n";
   return name;
 }
 
 template <typename Linear>
-std::string Emitter::emit_linear(const Linear& linear) {
+std::string Emitter::emit_linear(const Linear& linear, bool proba) {
   const std::string name = fresh("linear");
   // Fold the standardization into per-feature slope and a global offset:
   // margin = sum_f (w_f / sd_f) * x_f + (b - sum_f w_f * mu_f / sd_f).
   const auto& w = linear.weights();
   const auto& mu = linear.input_mean();
   const auto& sd = linear.input_stdev();
+  std::vector<double> slopes(w.size());
   double offset = linear.bias();
-  os << "static int " << name << "(const int32_t x[]) {\n"
-     << "  static const int64_t slope[" << w.size() << "] = {";
   for (std::size_t f = 0; f < w.size(); ++f) {
-    os << (f ? "," : "") << fx(w[f] / sd[f], opt.fraction_bits) << "LL";
+    slopes[f] = w[f] / sd[f];
     offset -= w[f] * mu[f] / sd[f];
   }
+  // Standardized slopes on raw HPC counts are tiny; quantizing them at the
+  // input scale would underflow every coefficient to zero, so the slopes
+  // get their own (wider) fixed-point format.
+  const int sb = linear_fixed_point_bits(slopes, offset, opt.fraction_bits);
+  os << "static int " << name << "(const int32_t x[]) {\n"
+     << "  /* slopes in Q" << sb << ", accumulator in Q"
+     << (opt.fraction_bits + sb) << " */\n"
+     << "  static const int64_t slope[" << w.size() << "] = {";
+  for (std::size_t f = 0; f < slopes.size(); ++f)
+    os << (f ? "," : "") << fx(slopes[f], sb) << "LL";
   os << "};\n"
-     << "  int64_t acc = " << fx(offset, 2 * opt.fraction_bits) << "LL;\n"
+     << "  int64_t acc = " << fx(offset, opt.fraction_bits + sb) << "LL;\n"
      << "  for (int f = 0; f < " << w.size() << "; ++f)\n"
-     << "    acc += slope[f] * (int64_t)x[f];\n"
-     << "  return acc >= 0 ? 1 : 0;\n}\n\n";
+     << "    acc += slope[f] * (int64_t)x[f];\n";
+  if (proba)
+    os << "  return acc >= 0 ? " << (1LL << opt.fraction_bits)
+       << " : 0;\n}\n\n";
+  else
+    os << "  return acc >= 0 ? 1 : 0;\n}\n\n";
   return name;
 }
 
-std::string Emitter::emit_adaboost(const ml::AdaBoostM1& boost) {
+std::string Emitter::emit_adaboost(const ml::AdaBoostM1& boost, bool proba) {
   std::vector<std::string> members;
   std::vector<long long> alphas;
   for (std::size_t m = 0; m < boost.num_members(); ++m) {
@@ -145,45 +186,101 @@ std::string Emitter::emit_adaboost(const ml::AdaBoostM1& boost) {
      << "  int64_t vote = 0;\n";
   for (std::size_t m = 0; m < members.size(); ++m)
     os << "  if (" << members[m] << "(x)) vote += " << alphas[m] << "LL;\n";
-  os << "  return 2 * vote >= " << total << "LL ? 1 : 0;\n}\n\n";
+  if (proba && total > 0)
+    os << "  return (int)((vote << " << opt.fraction_bits << ") / " << total
+       << "LL);\n}\n\n";
+  else if (proba)
+    os << "  return " << (1LL << (opt.fraction_bits - 1))
+       << ";  /* no informative members */\n}\n\n";
+  else
+    os << "  return 2 * vote >= " << total << "LL ? 1 : 0;\n}\n\n";
   return name;
 }
 
-std::string Emitter::emit_bagging(const ml::Bagging& bag) {
+std::string Emitter::emit_bagging(const ml::Bagging& bag, bool proba) {
+  // Bagging averages member *probabilities* (Bagging::predict_proba), so
+  // members are emitted in their Q(fraction_bits) probability form rather
+  // than as hard votes.
   std::vector<std::string> members;
   for (std::size_t m = 0; m < bag.num_members(); ++m)
-    members.push_back(emit_model(bag.member(m)));
+    members.push_back(emit_model_proba(bag.member(m)));
+  const auto n = static_cast<long long>(members.size());
   const std::string name = fresh("bagging");
   os << "static int " << name << "(const int32_t x[]) {\n"
-     << "  int votes = 0;\n";
+     << "  int64_t acc = 0;  /* sum of member P(malware), Q"
+     << opt.fraction_bits << " */\n";
   for (const auto& member : members)
-    os << "  votes += " << member << "(x);\n";
-  os << "  return 2 * votes >= " << members.size() << " ? 1 : 0;\n}\n\n";
+    os << "  acc += " << member << "(x);\n";
+  if (proba)
+    os << "  return (int)(acc / " << n << "LL);\n}\n\n";
+  else
+    os << "  return 2 * acc >= " << (n << opt.fraction_bits)
+       << "LL ? 1 : 0;\n}\n\n";
   return name;
 }
 
 std::string Emitter::emit_model(const ml::Classifier& model) {
   if (const auto* oner = dynamic_cast<const ml::OneR*>(&model))
-    return emit_oner(*oner);
+    return emit_oner(*oner, /*proba=*/false);
   if (const auto* j48 = dynamic_cast<const ml::J48*>(&model))
-    return emit_tree(*j48);
+    return emit_tree(*j48, /*proba=*/false);
   if (const auto* rep = dynamic_cast<const ml::RepTree*>(&model))
-    return emit_tree(*rep);
+    return emit_tree(*rep, /*proba=*/false);
   if (const auto* jrip = dynamic_cast<const ml::JRip*>(&model))
-    return emit_jrip(*jrip);
+    return emit_jrip(*jrip, /*proba=*/false);
   if (const auto* sgd = dynamic_cast<const ml::Sgd*>(&model))
-    return emit_linear(*sgd);
+    return emit_linear(*sgd, /*proba=*/false);
   if (const auto* smo = dynamic_cast<const ml::Smo*>(&model))
-    return emit_linear(*smo);
+    return emit_linear(*smo, /*proba=*/false);
   if (const auto* boost = dynamic_cast<const ml::AdaBoostM1*>(&model))
-    return emit_adaboost(*boost);
+    return emit_adaboost(*boost, /*proba=*/false);
   if (const auto* bag = dynamic_cast<const ml::Bagging*>(&model))
-    return emit_bagging(*bag);
+    return emit_bagging(*bag, /*proba=*/false);
+  throw PreconditionError("HLS codegen does not support model: " +
+                          model.name());
+}
+
+std::string Emitter::emit_model_proba(const ml::Classifier& model) {
+  if (const auto* oner = dynamic_cast<const ml::OneR*>(&model))
+    return emit_oner(*oner, /*proba=*/true);
+  if (const auto* j48 = dynamic_cast<const ml::J48*>(&model))
+    return emit_tree(*j48, /*proba=*/true);
+  if (const auto* rep = dynamic_cast<const ml::RepTree*>(&model))
+    return emit_tree(*rep, /*proba=*/true);
+  if (const auto* jrip = dynamic_cast<const ml::JRip*>(&model))
+    return emit_jrip(*jrip, /*proba=*/true);
+  if (const auto* sgd = dynamic_cast<const ml::Sgd*>(&model))
+    return emit_linear(*sgd, /*proba=*/true);
+  if (const auto* smo = dynamic_cast<const ml::Smo*>(&model))
+    return emit_linear(*smo, /*proba=*/true);
+  if (const auto* boost = dynamic_cast<const ml::AdaBoostM1*>(&model))
+    return emit_adaboost(*boost, /*proba=*/true);
+  if (const auto* bag = dynamic_cast<const ml::Bagging*>(&model))
+    return emit_bagging(*bag, /*proba=*/true);
   throw PreconditionError("HLS codegen does not support model: " +
                           model.name());
 }
 
 }  // namespace
+
+int linear_fixed_point_bits(std::span<const double> slopes, double offset,
+                            int fraction_bits) {
+  double max_abs = 0.0;
+  for (double s : slopes) max_abs = std::max(max_abs, std::abs(s));
+  // Widen while every quantized slope stays below 2^24 (comfortable int32
+  // headroom) and the folded offset — encoded at fraction_bits + slope
+  // bits — stays well inside int64. Cap keeps the accumulator products
+  // (slope * 32-bit input) representable.
+  int bits = fraction_bits;
+  constexpr int kMaxBits = 46;
+  while (bits < kMaxBits &&
+         max_abs * std::ldexp(1.0, bits + 1) < std::ldexp(1.0, 24) &&
+         std::abs(offset) * std::ldexp(1.0, fraction_bits + bits + 1) <
+             std::ldexp(1.0, 62)) {
+    ++bits;
+  }
+  return bits;
+}
 
 bool hls_supported(const ml::Classifier& model) {
   if (dynamic_cast<const ml::OneR*>(&model) != nullptr) return true;

@@ -35,6 +35,16 @@ struct HlsOptions {
 void generate_hls_c(std::ostream& os, const ml::Classifier& model,
                     std::size_t num_inputs, const HlsOptions& options = {});
 
+/// Fraction bits the generator uses for the folded slopes (w_f / sd_f) of a
+/// linear model. Starts at `fraction_bits` and widens while the largest
+/// slope magnitude stays below 2^24 and the folded offset (encoded at
+/// `fraction_bits` + the result) stays well inside int64 — standardized
+/// slopes on raw HPC counts are tiny, and quantizing them at the input
+/// scale underflows every coefficient to zero. Exposed so the analysis
+/// subsystem's fixed-point mirror stays bit-exact with the generator.
+int linear_fixed_point_bits(std::span<const double> slopes, double offset,
+                            int fraction_bits);
+
 /// True if generate_hls_c supports this classifier (by name / structure).
 bool hls_supported(const ml::Classifier& model);
 

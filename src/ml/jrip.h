@@ -58,6 +58,8 @@ class JRip final : public Classifier {
   std::size_t num_rules() const { return rules_.size(); }
   const std::vector<Rule>& rules() const { return rules_; }
   int target_class() const { return target_; }
+  /// P(malware) when no rule fires (valid after train()).
+  double default_proba() const { return default_proba_; }
 
  private:
   Rule grow_rule(const Dataset& data,

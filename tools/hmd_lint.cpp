@@ -1,0 +1,166 @@
+// hmd_lint — model-integrity static analysis across the experiment grid.
+//
+// Trains every detector of the paper's evaluation grid (8 classifiers ×
+// {General, AdaBoost, Bagging} × {16, 8, 4, 2} HPCs) on the standard
+// corpus, then runs the full analysis stack on each:
+//
+//   * ModelVerifier  — structural well-formedness + complexity drift;
+//   * HlsCodeChecker — synthesis-contract lint of the generated C,
+//                      fixed-point range check, and a differential check
+//                      of the generated decision function against
+//                      predict_proba() thresholding on the test split
+//                      (HLS-supported families only).
+//
+// Prints one pass/fail table and exits non-zero if any cell fails, so the
+// tool slots directly into CI between training and synthesis/deployment.
+//
+// Flags: --quick (reduced corpus), --seed N, --fraction-bits B,
+//        --max-mismatch R (differential tolerance, default 0.02).
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/hls_checker.h"
+#include "analysis/model_verifier.h"
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "hw/hls_codegen.h"
+#include "support/table.h"
+
+namespace {
+
+struct LintArgs {
+  hmd::core::ExperimentConfig config;
+  int fraction_bits = 8;
+  double max_mismatch = 0.02;
+};
+
+LintArgs parse_args(int argc, char** argv) {
+  LintArgs args;
+  args.config = hmd::benchutil::config_from_args(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fraction-bits") == 0 && i + 1 < argc)
+      args.fraction_bits = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
+    if (std::strcmp(argv[i], "--max-mismatch") == 0 && i + 1 < argc)
+      args.max_mismatch = std::strtod(argv[i + 1], nullptr);
+  }
+  return args;
+}
+
+struct CellVerdict {
+  bool pass = true;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::string detail;  ///< full findings text for failing cells
+};
+
+CellVerdict lint_cell(const hmd::core::ExperimentContext& ctx,
+                      hmd::ml::ClassifierKind kind,
+                      hmd::ml::EnsembleKind ensemble, std::size_t hpcs,
+                      const LintArgs& args) {
+  using namespace hmd;
+
+  const auto features = ctx.top_features(hpcs);
+  const ml::Dataset train = ctx.split.train.select_features(features);
+  const ml::Dataset test = ctx.split.test.select_features(features);
+
+  auto detector = ml::make_detector(kind, ensemble, ctx.config.model_seed);
+  detector->train(train);
+
+  CellVerdict verdict;
+  std::ostringstream detail;
+
+  const auto absorb = [&](const analysis::VerifyReport& report,
+                          const char* stage) {
+    verdict.errors += report.error_count();
+    verdict.warnings += report.warning_count();
+    if (!report.ok()) {
+      verdict.pass = false;
+      detail << "  [" << stage << "]\n" << report.to_string();
+    }
+  };
+
+  absorb(analysis::verify_model(*detector), "model-verifier");
+
+  if (hw::hls_supported(*detector)) {
+    const analysis::ModelIr ir = analysis::extract_ir(*detector);
+    absorb(analysis::check_fixed_point_range(ir, args.fraction_bits),
+           "fixed-point-range");
+
+    hw::HlsOptions hls_options;
+    hls_options.fraction_bits = args.fraction_bits;
+    std::ostringstream code;
+    hw::generate_hls_c(code, *detector, hpcs, hls_options);
+    analysis::HlsLintOptions lint_options;
+    lint_options.fraction_bits = args.fraction_bits;
+    absorb(analysis::lint_hls_code(code.str(), lint_options), "hls-lint");
+
+    analysis::DifferentialOptions diff_options;
+    diff_options.fraction_bits = args.fraction_bits;
+    diff_options.max_mismatch_rate = args.max_mismatch;
+    const auto diff = analysis::differential_check(*detector, test,
+                                                   diff_options);
+    if (!diff.ok) {
+      verdict.pass = false;
+      ++verdict.errors;
+      detail << "  [hls-differential] " << diff.mismatches << "/"
+             << diff.probes << " probe decisions diverge ("
+             << hmd::TextTable::num(100.0 * diff.mismatch_rate(), 2)
+             << "% > "
+             << hmd::TextTable::num(100.0 * args.max_mismatch, 2)
+             << "%)\n";
+    }
+  }
+
+  verdict.detail = detail.str();
+  return verdict;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmd;
+
+  const LintArgs args = parse_args(argc, argv);
+  const auto ctx = benchutil::prepare(args.config, "hmd_lint");
+
+  constexpr std::size_t kHpcGrid[] = {16, 8, 4, 2};
+
+  TextTable table("hmd_lint — model integrity across the experiment grid");
+  table.set_header({"Detector", "16HPC", "8HPC", "4HPC", "2HPC"});
+
+  std::size_t failed_cells = 0, total_cells = 0;
+  for (ml::ClassifierKind kind : ml::all_classifier_kinds()) {
+    for (ml::EnsembleKind ensemble : ml::all_ensemble_kinds()) {
+      std::vector<std::string> row;
+      row.push_back(std::string(ml::ensemble_kind_name(ensemble)) + " " +
+                    std::string(ml::classifier_kind_name(kind)));
+      for (std::size_t hpcs : kHpcGrid) {
+        ++total_cells;
+        const CellVerdict verdict =
+            lint_cell(ctx, kind, ensemble, hpcs, args);
+        std::string cell = verdict.pass ? "pass" : "FAIL";
+        if (verdict.warnings > 0)
+          cell += " (" + std::to_string(verdict.warnings) + "w)";
+        if (!verdict.pass) {
+          ++failed_cells;
+          cell += " (" + std::to_string(verdict.errors) + "e)";
+          std::cerr << "[hmd_lint] " << row.front() << " @ " << hpcs
+                    << " HPCs:\n"
+                    << verdict.detail;
+        }
+        row.push_back(std::move(cell));
+      }
+      std::fprintf(stderr, "[hmd_lint] %s done\n", row.front().c_str());
+      table.add_row(std::move(row));
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << (failed_cells == 0 ? "OK" : "FAILED") << ": "
+            << total_cells - failed_cells << "/" << total_cells
+            << " grid cells clean\n";
+  return failed_cells == 0 ? 0 : 1;
+}
