@@ -25,18 +25,21 @@ int main(int argc, char** argv) {
                           "J48 acc%", "J48-Bagging acc%"});
   std::vector<sim::Event> all(sim::all_events().begin(),
                               sim::all_events().end());
-  for (std::uint32_t width : {1u, 2u, 4u, 6u, 8u}) {
-    const auto batches = hpc::schedule_batches(all, width);
-    const auto general =
-        core::run_cell(ctx, ml::ClassifierKind::kJ48,
-                       ml::EnsembleKind::kGeneral, width);
-    const auto bagged =
-        core::run_cell(ctx, ml::ClassifierKind::kJ48,
-                       ml::EnsembleKind::kBagging, width);
-    width_table.add_row({std::to_string(width),
+  constexpr std::uint32_t kWidths[] = {1, 2, 4, 6, 8};
+  std::vector<core::GridCell> cells;
+  for (std::uint32_t width : kWidths) {
+    cells.push_back({ml::ClassifierKind::kJ48, ml::EnsembleKind::kGeneral,
+                     width});
+    cells.push_back({ml::ClassifierKind::kJ48, ml::EnsembleKind::kBagging,
+                     width});
+  }
+  const auto results = core::run_grid(ctx, cells, cfg.threads);
+  for (std::size_t w = 0; w < std::size(kWidths); ++w) {
+    const auto batches = hpc::schedule_batches(all, kWidths[w]);
+    width_table.add_row({std::to_string(kWidths[w]),
                          std::to_string(batches.size()),
-                         benchutil::pct(general.metrics.accuracy),
-                         benchutil::pct(bagged.metrics.accuracy)});
+                         benchutil::pct(results[2 * w].metrics.accuracy),
+                         benchutil::pct(results[2 * w + 1].metrics.accuracy)});
   }
   width_table.print(std::cout);
 

@@ -17,35 +17,43 @@ int main(int argc, char** argv) {
   const auto cfg = benchutil::config_from_args(argc, argv);
   const auto ctx = benchutil::prepare(cfg, "ablation_ensemble");
 
-  const auto features2 = ctx.top_features(2);
-  const ml::Dataset train2 = ctx.split.train.select_features(features2);
-  const ml::Dataset test2 = ctx.split.test.select_features(features2);
+  // The 2- and 4-HPC projections come from the context's shared cache —
+  // the same materialisation the grid benches use.
+  const ml::Dataset& train2 = ctx.projected_split(2).train;
+  const ml::Dataset& test2 = ctx.projected_split(2).test;
 
   TextTable size_table("Ablation A — ensemble size (J48 @2HPC)");
   size_table.set_header({"Members", "AdaBoost acc%", "AdaBoost AUC",
                          "Bagging acc%", "Bagging AUC"});
-  for (std::size_t members : {1u, 2u, 5u, 10u, 20u, 40u}) {
-    ml::AdaBoostM1 boost(ml::make_classifier(ml::ClassifierKind::kJ48),
-                         members, /*seed=*/7);
-    boost.train(train2);
-    const auto bm = ml::evaluate_detector(boost, test2);
-
-    ml::Bagging bag(ml::make_classifier(ml::ClassifierKind::kJ48), members,
-                    /*seed=*/7);
-    bag.train(train2);
-    const auto gm = ml::evaluate_detector(bag, test2);
-
-    size_table.add_row({std::to_string(members), benchutil::pct(bm.accuracy),
-                        TextTable::num(bm.auc, 3),
-                        benchutil::pct(gm.accuracy),
-                        TextTable::num(gm.auc, 3)});
-    std::fprintf(stderr, "[ablation_ensemble] %zu members done\n", members);
+  // Each member count trains its own ensembles from seed 7 — independent
+  // work units, evaluated concurrently with ordered results.
+  constexpr std::size_t kMembers[] = {1, 2, 5, 10, 20, 40};
+  struct SizePoint {
+    ml::DetectorMetrics boost, bag;
+  };
+  support::ThreadPool pool(cfg.threads);
+  const auto size_points =
+      pool.parallel_map(std::size(kMembers), [&](std::size_t i) {
+        ml::AdaBoostM1 boost(ml::make_classifier(ml::ClassifierKind::kJ48),
+                             kMembers[i], /*seed=*/7);
+        boost.train(train2);
+        ml::Bagging bag(ml::make_classifier(ml::ClassifierKind::kJ48),
+                        kMembers[i], /*seed=*/7);
+        bag.train(train2);
+        return SizePoint{ml::evaluate_detector(boost, test2),
+                         ml::evaluate_detector(bag, test2)};
+      });
+  for (std::size_t i = 0; i < std::size(kMembers); ++i) {
+    size_table.add_row({std::to_string(kMembers[i]),
+                        benchutil::pct(size_points[i].boost.accuracy),
+                        TextTable::num(size_points[i].boost.auc, 3),
+                        benchutil::pct(size_points[i].bag.accuracy),
+                        TextTable::num(size_points[i].bag.auc, 3)});
   }
   size_table.print(std::cout);
 
-  const auto features4 = ctx.top_features(4);
-  const ml::Dataset train4 = ctx.split.train.select_features(features4);
-  const ml::Dataset test4 = ctx.split.test.select_features(features4);
+  const ml::Dataset& train4 = ctx.projected_split(4).train;
+  const ml::Dataset& test4 = ctx.projected_split(4).test;
 
   TextTable bn_table("\nAblation B — BayesNet structure (@4HPC)");
   bn_table.set_header({"Structure", "Accuracy%", "AUC"});

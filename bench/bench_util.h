@@ -1,7 +1,10 @@
 // Shared plumbing for the reproduction harnesses (one binary per paper
 // table/figure). Every binary accepts:
-//   --quick   run on a reduced corpus (fast smoke mode, shapes only)
-//   --seed N  override the corpus seed
+//   --quick      run on a reduced corpus (fast smoke mode, shapes only)
+//   --seed N     override the corpus seed
+//   --threads N  worker threads for capture + grid evaluation
+//                (default: HMD_THREADS env, else hardware_concurrency;
+//                 results are bit-identical for any thread count)
 #pragma once
 
 #include <chrono>
@@ -10,6 +13,7 @@
 #include <string>
 
 #include "core/hmd.h"
+#include "support/parallel.h"
 #include "support/table.h"
 
 namespace hmd::benchutil {
@@ -33,22 +37,32 @@ inline core::ExperimentConfig quick_config() {
 
 inline core::ExperimentConfig config_from_args(int argc, char** argv) {
   core::ExperimentConfig cfg = standard_config();
+  std::size_t threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) cfg = quick_config();
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
       cfg.corpus.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const auto parsed = support::parse_thread_count(argv[i + 1]);
+      if (parsed) threads = *parsed;
+    }
   }
+  cfg.threads = threads;  // 0 falls back to HMD_THREADS, then auto
   return cfg;
 }
 
-/// Capture the corpus with progress reporting on stderr.
+/// Capture the corpus with progress reporting on stderr. If
+/// `capture_ms_out` is non-null it receives the capture wall-clock.
 inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
-                                       const char* what) {
+                                       const char* what,
+                                       long long* capture_ms_out = nullptr) {
   std::fprintf(stderr,
                "[%s] capturing corpus (%u benign + %u malware variants per "
-               "template, %u intervals, multi-run 4-counter PMU)...\n",
+               "template, %u intervals, multi-run 4-counter PMU, %zu "
+               "threads)...\n",
                what, cfg.corpus.benign_per_template,
-               cfg.corpus.malware_per_template, cfg.corpus.intervals_per_app);
+               cfg.corpus.malware_per_template, cfg.corpus.intervals_per_app,
+               support::resolve_threads(cfg.threads));
   const auto t0 = std::chrono::steady_clock::now();
   auto ctx = core::prepare_experiment(cfg);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -61,7 +75,48 @@ inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
                ctx.split.test.num_rows(),
                static_cast<unsigned long long>(ctx.capture.total_runs),
                static_cast<long long>(ms));
+  if (capture_ms_out != nullptr) *capture_ms_out = ms;
   return ctx;
+}
+
+/// Machine-readable performance record of one grid-bench run, for tracking
+/// the parallel layer's throughput across commits.
+struct GridBenchReport {
+  const char* bench = "";       ///< binary name, e.g. "fig3_accuracy"
+  long long capture_ms = 0;     ///< corpus capture wall-clock
+  long long grid_ms = 0;        ///< grid evaluation wall-clock
+  std::size_t threads = 0;      ///< effective worker count
+  std::size_t cells = 0;        ///< grid cells evaluated
+};
+
+/// Write `report` as JSON (default BENCH_grid.json in the working dir).
+inline void write_grid_bench_json(const GridBenchReport& report,
+                                  const char* path = "BENCH_grid.json") {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[%s] cannot write %s\n", report.bench, path);
+    return;
+  }
+  const double grid_sec = static_cast<double>(report.grid_ms) / 1000.0;
+  const double cells_per_sec =
+      grid_sec > 0.0 ? static_cast<double>(report.cells) / grid_sec : 0.0;
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"threads\": %zu,\n"
+               "  \"capture_ms\": %lld,\n"
+               "  \"grid_ms\": %lld,\n"
+               "  \"total_ms\": %lld,\n"
+               "  \"cells\": %zu,\n"
+               "  \"cells_per_sec\": %.3f\n"
+               "}\n",
+               report.bench, report.threads, report.capture_ms,
+               report.grid_ms, report.capture_ms + report.grid_ms,
+               report.cells, cells_per_sec);
+  std::fclose(f);
+  std::fprintf(stderr, "[%s] wrote %s (%zu cells, %zu threads, %.1f cells/s)\n",
+               report.bench, path, report.cells, report.threads,
+               cells_per_sec);
 }
 
 inline std::string pct(double v, int precision = 1) {

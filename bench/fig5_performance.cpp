@@ -17,28 +17,24 @@ int main(int argc, char** argv) {
   const auto cfg = benchutil::config_from_args(argc, argv);
   const auto ctx = benchutil::prepare(cfg, "fig5");
 
-  const std::size_t hpc_counts[] = {16, 8, 4, 2};
-
-  // Cache all grid cells; the call-out section reuses them.
+  // The full 96-cell grid, evaluated concurrently; the call-out section
+  // below reuses the same results by coordinates.
+  const auto cells = core::full_grid();
+  const auto results = core::run_grid(ctx, cells, cfg.threads);
   std::map<std::tuple<CK, EK, std::size_t>, ml::DetectorMetrics> grid;
+  for (const auto& cell : results)
+    grid[{cell.classifier, cell.ensemble, cell.hpcs}] = cell.metrics;
 
   TextTable table("Figure 5 — Performance = ACC×AUC (%) vs number of HPCs");
   table.set_header({"Classifier", "Variant", "16HPC", "8HPC", "4HPC",
                     "2HPC"});
-  for (CK kind : ml::all_classifier_kinds()) {
-    for (EK ens : ml::all_ensemble_kinds()) {
-      std::vector<std::string> row{
-          std::string(ml::classifier_kind_name(kind)),
-          std::string(ml::ensemble_kind_name(ens))};
-      for (std::size_t hpcs : hpc_counts) {
-        const auto cell = core::run_cell(ctx, kind, ens, hpcs);
-        grid[{kind, ens, hpcs}] = cell.metrics;
-        row.push_back(benchutil::pct(cell.metrics.performance()));
-      }
-      table.add_row(std::move(row));
-    }
-    std::fprintf(stderr, "[fig5] %s done\n",
-                 std::string(ml::classifier_kind_name(kind)).c_str());
+  for (std::size_t i = 0; i < results.size(); i += 4) {
+    std::vector<std::string> row{
+        std::string(ml::classifier_kind_name(results[i].classifier)),
+        std::string(ml::ensemble_kind_name(results[i].ensemble))};
+    for (std::size_t c = 0; c < 4; ++c)
+      row.push_back(benchutil::pct(results[i + c].metrics.performance()));
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
 

@@ -55,19 +55,25 @@ int main(int argc, char** argv) {
   for (const Col& c : cols) header.emplace_back(c.label);
   table.set_header(std::move(header));
 
+  // One grid cell per (classifier, column), evaluated concurrently with
+  // results in input order: classifier-major, columns inner.
+  std::vector<core::GridCell> cells;
+  for (ml::ClassifierKind kind : ml::all_classifier_kinds())
+    for (const Col& c : cols) cells.push_back({kind, c.ens, c.hpcs});
+  const auto results = core::run_grid(ctx, cells, cfg.threads);
+
+  std::size_t i = 0;
   for (ml::ClassifierKind kind : ml::all_classifier_kinds()) {
     const std::string name(ml::classifier_kind_name(kind));
     const PaperRow* paper = paper_row(name);
     std::vector<std::string> row{name};
-    for (std::size_t c = 0; c < std::size(cols); ++c) {
-      const auto cell = core::run_cell(ctx, kind, cols[c].ens, cols[c].hpcs);
-      std::string text = TextTable::num(cell.metrics.auc, 2);
+    for (std::size_t c = 0; c < std::size(cols); ++c, ++i) {
+      std::string text = TextTable::num(results[i].metrics.auc, 2);
       if (paper != nullptr)
         text += " (" + TextTable::num(paper->v[c], 2) + ")";
       row.push_back(std::move(text));
     }
     table.add_row(std::move(row));
-    std::fprintf(stderr, "[table2] %s done\n", name.c_str());
   }
   table.print(std::cout);
   return 0;

@@ -51,20 +51,25 @@ int main(int argc, char** argv) {
   const hw::FabricParams fabric;
   const hw::ReferenceCore core;
 
+  struct Cfg {
+    EK ens;
+    std::size_t hpcs;
+  };
+  constexpr Cfg cols[] = {{EK::kGeneral, 8}, {EK::kAdaBoost, 4},
+                          {EK::kAdaBoost, 2}};
+  std::vector<core::GridCell> cells;
+  for (ml::ClassifierKind kind : ml::all_classifier_kinds())
+    for (const Cfg& c : cols) cells.push_back({kind, c.ens, c.hpcs});
+  const auto results = core::run_grid(ctx, cells, cfg.threads);
+
+  std::size_t i = 0;
   for (ml::ClassifierKind kind : ml::all_classifier_kinds()) {
     const std::string name(ml::classifier_kind_name(kind));
     const PaperRow* paper = paper_row(name);
 
-    struct Cfg {
-      EK ens;
-      std::size_t hpcs;
-    };
-    const Cfg cols[] = {{EK::kGeneral, 8}, {EK::kAdaBoost, 4},
-                        {EK::kAdaBoost, 2}};
     std::vector<std::string> row{name};
-    for (std::size_t c = 0; c < std::size(cols); ++c) {
-      const auto cell = core::run_cell(ctx, kind, cols[c].ens, cols[c].hpcs);
-      const auto est = hw::estimate_hardware(cell.complexity, fabric);
+    for (std::size_t c = 0; c < std::size(cols); ++c, ++i) {
+      const auto est = hw::estimate_hardware(results[i].complexity, fabric);
       const double paper_lat =
           paper ? (c == 0 ? paper->lat8 : c == 1 ? paper->lat4b : paper->lat2b)
                 : 0.0;
@@ -78,7 +83,6 @@ int main(int argc, char** argv) {
                     TextTable::num(paper_area, 1) + ")");
     }
     table.add_row(std::move(row));
-    std::fprintf(stderr, "[table3] %s done\n", name.c_str());
   }
   table.print(std::cout);
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verification run twice.
+# CI entry point: the tier-1 verification run three times.
 #
 #   1. Release, warnings-as-errors — the production configuration must
 #      compile warning-clean under -Wall -Wextra -Wshadow -Wconversion
@@ -8,8 +8,12 @@
 #      ctest suite must pass with zero sanitizer reports. Recovery is
 #      disabled at compile time (-fno-sanitize-recover=all) and
 #      halt_on_error is set here, so any report fails the suite.
+#   3. Debug, ThreadSanitizer with HMD_THREADS=4 — forces the capture and
+#      grid paths onto 4 workers even where a test does not ask for
+#      parallelism, so every data race in the deterministic parallel layer
+#      is a ctest failure.
 #
-# Both builds use their own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
+# Each build uses its own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
 # or JOBS (default: all cores).
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -34,6 +38,16 @@ cmake --build build-ci-asan -j "${JOBS}"
 (cd build-ci-asan && \
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --output-on-failure -j "${JOBS}")
+
+echo "=== [3/3] Debug + HMD_SANITIZE=thread, HMD_THREADS=4 ==="
+cmake -B build-ci-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DHMD_SANITIZE=thread
+cmake --build build-ci-tsan -j "${JOBS}"
+(cd build-ci-tsan && \
+  HMD_THREADS=4 \
+  TSAN_OPTIONS="halt_on_error=1" \
   ctest --output-on-failure -j "${JOBS}")
 
 echo "=== CI OK ==="

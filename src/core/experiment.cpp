@@ -17,6 +17,15 @@ std::vector<std::string> ExperimentContext::top_feature_names(
   return names;
 }
 
+const ml::Split& ExperimentContext::projected_split(std::size_t hpcs) const {
+  HMD_REQUIRE(hpcs >= 1);
+  return projections->get(hpcs, [&] {
+    const auto features = top_features(hpcs);
+    return ml::Split{split.train.select_features(features),
+                     split.test.select_features(features)};
+  });
+}
+
 ml::Dataset to_dataset(const hpc::Capture& capture) {
   ml::Dataset data(capture.feature_names);
   for (std::size_t i = 0; i < capture.num_rows(); ++i)
@@ -30,7 +39,9 @@ ExperimentContext prepare_experiment(const ExperimentConfig& config) {
   ctx.config = config;
 
   const auto corpus = sim::build_corpus(config.corpus);
-  ctx.capture = hpc::capture_all_events(corpus, config.capture);
+  hpc::CaptureConfig capture_cfg = config.capture;
+  if (capture_cfg.threads == 0) capture_cfg.threads = config.threads;
+  ctx.capture = hpc::capture_all_events(corpus, capture_cfg);
   ctx.full = to_dataset(ctx.capture);
 
   Rng split_rng(config.split_seed);
@@ -47,51 +58,86 @@ ExperimentContext prepare_experiment(const ExperimentConfig& config) {
 
 namespace {
 
-/// Train the cell's detector on the context's training split restricted to
-/// the top `hpcs` events.
+/// Train the cell's detector on the context's (cached) training projection
+/// for the top `hpcs` events; `test_out` points at the cached test side.
 std::unique_ptr<ml::Classifier> train_cell(const ExperimentContext& ctx,
                                            ml::ClassifierKind kind,
                                            ml::EnsembleKind ensemble,
                                            std::size_t hpcs,
-                                           ml::Dataset& test_out) {
+                                           const ml::Dataset** test_out) {
   HMD_REQUIRE(hpcs >= 1);
-  const auto features = ctx.top_features(hpcs);
-  const ml::Dataset train = ctx.split.train.select_features(features);
-  test_out = ctx.split.test.select_features(features);
+  const ml::Split& projected = ctx.projected_split(hpcs);
+  *test_out = &projected.test;
 
   auto detector = ml::make_detector(kind, ensemble, ctx.config.model_seed);
-  detector->train(train);
+  detector->train(projected.train);
   return detector;
 }
 
 }  // namespace
 
+CellEvaluation run_cell_full(const ExperimentContext& ctx,
+                             ml::ClassifierKind kind,
+                             ml::EnsembleKind ensemble, std::size_t hpcs) {
+  const ml::Dataset* test = nullptr;
+  const auto detector = train_cell(ctx, kind, ensemble, hpcs, &test);
+
+  CellEvaluation out;
+  out.result.classifier = kind;
+  out.result.ensemble = ensemble;
+  out.result.hpcs = hpcs;
+  out.result.complexity = detector->complexity();
+
+  out.scores.scores = ml::score_dataset(*detector, *test);
+  std::vector<double> weights;
+  out.scores.labels.reserve(test->num_rows());
+  weights.reserve(test->num_rows());
+  for (std::size_t i = 0; i < test->num_rows(); ++i) {
+    out.scores.labels.push_back(test->label(i));
+    weights.push_back(test->weight(i));
+  }
+  out.result.metrics =
+      ml::detector_metrics(out.scores.scores, out.scores.labels, weights);
+  return out;
+}
+
 CellResult run_cell(const ExperimentContext& ctx, ml::ClassifierKind kind,
                     ml::EnsembleKind ensemble, std::size_t hpcs) {
-  ml::Dataset test;
-  const auto detector = train_cell(ctx, kind, ensemble, hpcs, test);
-
-  CellResult cell;
-  cell.classifier = kind;
-  cell.ensemble = ensemble;
-  cell.hpcs = hpcs;
-  cell.metrics = ml::evaluate_detector(*detector, test);
-  cell.complexity = detector->complexity();
-  return cell;
+  return run_cell_full(ctx, kind, ensemble, hpcs).result;
 }
 
 CellScores run_cell_scores(const ExperimentContext& ctx,
                            ml::ClassifierKind kind, ml::EnsembleKind ensemble,
                            std::size_t hpcs) {
-  ml::Dataset test;
-  const auto detector = train_cell(ctx, kind, ensemble, hpcs, test);
+  return std::move(run_cell_full(ctx, kind, ensemble, hpcs).scores);
+}
 
-  CellScores out;
-  out.scores = ml::score_dataset(*detector, test);
-  out.labels.reserve(test.num_rows());
-  for (std::size_t i = 0; i < test.num_rows(); ++i)
-    out.labels.push_back(test.label(i));
-  return out;
+std::vector<GridCell> full_grid() {
+  constexpr std::size_t kHpcGrid[] = {16, 8, 4, 2};
+  std::vector<GridCell> cells;
+  cells.reserve(ml::all_classifier_kinds().size() *
+                ml::all_ensemble_kinds().size() * std::size(kHpcGrid));
+  for (ml::ClassifierKind kind : ml::all_classifier_kinds())
+    for (ml::EnsembleKind ensemble : ml::all_ensemble_kinds())
+      for (std::size_t hpcs : kHpcGrid)
+        cells.push_back({kind, ensemble, hpcs});
+  return cells;
+}
+
+std::vector<CellResult> run_grid(const ExperimentContext& ctx,
+                                 std::span<const GridCell> cells,
+                                 std::size_t threads) {
+  return map_grid(ctx, cells, threads, [&](const GridCell& cell) {
+    return run_cell(ctx, cell.classifier, cell.ensemble, cell.hpcs);
+  });
+}
+
+std::vector<CellEvaluation> run_grid_full(const ExperimentContext& ctx,
+                                          std::span<const GridCell> cells,
+                                          std::size_t threads) {
+  return map_grid(ctx, cells, threads, [&](const GridCell& cell) {
+    return run_cell_full(ctx, cell.classifier, cell.ensemble, cell.hpcs);
+  });
 }
 
 }  // namespace hmd::core

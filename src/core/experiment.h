@@ -7,11 +7,21 @@
 //   evaluate accuracy / AUC / ACC×AUC / hardware cost.
 //
 // `prepare_experiment` performs the expensive data collection once;
-// `run_cell` evaluates one grid cell against the shared context. Every
-// bench binary regenerating a paper table/figure is a thin loop over cells.
+// `run_cell` evaluates one grid cell against the shared context, and
+// `run_grid` evaluates many cells concurrently with bit-identical results
+// for any thread count (every cell trains its own detector from
+// config.model_seed against immutable shared state, and results are
+// assembled in input order). Every bench binary regenerating a paper
+// table/figure is a thin loop over the cells it needs.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "hpc/capture.h"
@@ -19,6 +29,7 @@
 #include "ml/dataset.h"
 #include "ml/feature_selection.h"
 #include "ml/metrics.h"
+#include "support/parallel.h"
 
 namespace hmd::core {
 
@@ -29,7 +40,35 @@ struct ExperimentConfig {
   std::uint64_t split_seed = 42;
   std::size_t selected_features = 16;  ///< paper Table 1 keeps 16
   std::uint64_t model_seed = 7;
+  /// Worker threads for capture and grid evaluation; 0 = auto (HMD_THREADS
+  /// env, else hardware_concurrency). Results are thread-count-invariant.
+  std::size_t threads = 0;
 };
+
+namespace detail {
+
+/// Thread-safe lazy cache of feature-subset projections of the split.
+/// The 8 classifiers × 3 ensembles of one HPC budget all train on the same
+/// projected train/test pair; caching the four {16,8,4,2} projections means
+/// 24 grid cells share one materialisation instead of copying the split 96
+/// times per binary. Values are pointer-stable once built.
+class ProjectionCache {
+ public:
+  const ml::Split& get(std::size_t hpcs,
+                       const std::function<ml::Split()>& build) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(hpcs);
+    if (it == cache_.end())
+      it = cache_.emplace(hpcs, std::make_unique<ml::Split>(build())).first;
+    return *it->second;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::size_t, std::unique_ptr<ml::Split>> cache_;
+};
+
+}  // namespace detail
 
 /// Shared, immutable state for a whole experiment grid.
 struct ExperimentContext {
@@ -44,6 +83,17 @@ struct ExperimentContext {
 
   /// Names of the top-k ranked events, in rank order (paper Table 1).
   std::vector<std::string> top_feature_names(std::size_t k) const;
+
+  /// Train/test split projected onto the top `hpcs` ranked events. Built
+  /// lazily, cached, and safe to call from run_grid workers; a projection
+  /// is a pure function of (split, ranking, hpcs), so sharing the cache
+  /// across copies of the context cannot change any result.
+  const ml::Split& projected_split(std::size_t hpcs) const;
+
+  /// Shared across copies so a context handed to several grids still
+  /// materialises each projection once.
+  std::shared_ptr<detail::ProjectionCache> projections =
+      std::make_shared<detail::ProjectionCache>();
 };
 
 /// Convert a capture into a Dataset (row group = application index).
@@ -51,6 +101,7 @@ ml::Dataset to_dataset(const hpc::Capture& capture);
 
 /// Collect the corpus, build the dataset, split, and rank features.
 /// This is the expensive step — an entire 11-runs-per-application campaign.
+/// The capture runs on config.threads workers (one task per application).
 ExperimentContext prepare_experiment(const ExperimentConfig& config = {});
 
 /// One cell of the paper's evaluation grid.
@@ -62,19 +113,67 @@ struct CellResult {
   ml::ModelComplexity complexity{};  ///< trained structure, for hw costing
 };
 
+/// Scores of one trained cell over the test set, with labels — used by the
+/// ROC figure bench.
+struct CellScores {
+  std::vector<double> scores;
+  std::vector<int> labels;
+};
+
+/// Metrics and test-set scores of one cell from a single training run —
+/// the metrics are computed from the same score pass the ROC curves use,
+/// so a bench needing both never trains a detector twice.
+struct CellEvaluation {
+  CellResult result;
+  CellScores scores;
+};
+
 /// Train and evaluate one (classifier, ensemble, #HPC) detector on the
 /// context's split. Deterministic given config.model_seed.
 CellResult run_cell(const ExperimentContext& ctx, ml::ClassifierKind kind,
                     ml::EnsembleKind ensemble, std::size_t hpcs);
 
-/// Scores of one freshly trained cell over the test set, with labels —
-/// used by the ROC figure bench.
-struct CellScores {
-  std::vector<double> scores;
-  std::vector<int> labels;
-};
 CellScores run_cell_scores(const ExperimentContext& ctx,
                            ml::ClassifierKind kind, ml::EnsembleKind ensemble,
                            std::size_t hpcs);
+
+CellEvaluation run_cell_full(const ExperimentContext& ctx,
+                             ml::ClassifierKind kind,
+                             ml::EnsembleKind ensemble, std::size_t hpcs);
+
+/// Coordinates of one cell, for batch evaluation via run_grid/map_grid.
+struct GridCell {
+  ml::ClassifierKind classifier{};
+  ml::EnsembleKind ensemble{};
+  std::size_t hpcs = 0;
+};
+
+/// The paper's full 8 × {General, Boosted, Bagging} × {16,8,4,2} grid, in
+/// the canonical bench order: classifier-major, then ensemble, then HPCs.
+std::vector<GridCell> full_grid();
+
+/// Evaluate `fn` over every cell concurrently (threads = 0 → the context's
+/// config.threads, itself 0 → auto) and return the results in input order.
+/// `fn` must be safe to call concurrently against the immutable context —
+/// run_cell / run_cell_full and the hmd_lint checkers all are.
+template <typename Fn>
+auto map_grid(const ExperimentContext& ctx, std::span<const GridCell> cells,
+              std::size_t threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, const GridCell&>> {
+  support::ThreadPool pool(threads != 0 ? threads : ctx.config.threads);
+  return pool.parallel_map(cells.size(),
+                           [&](std::size_t i) { return fn(cells[i]); });
+}
+
+/// Train and evaluate many cells concurrently; results in input order,
+/// bit-identical to a serial run.
+std::vector<CellResult> run_grid(const ExperimentContext& ctx,
+                                 std::span<const GridCell> cells,
+                                 std::size_t threads = 0);
+
+/// run_grid variant that keeps the test-set scores of every cell.
+std::vector<CellEvaluation> run_grid_full(const ExperimentContext& ctx,
+                                          std::span<const GridCell> cells,
+                                          std::size_t threads = 0);
 
 }  // namespace hmd::core

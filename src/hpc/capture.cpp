@@ -1,9 +1,11 @@
 #include "hpc/capture.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "support/check.h"
+#include "support/parallel.h"
 
 namespace hmd::hpc {
 namespace {
@@ -15,100 +17,111 @@ std::size_t column_of(const std::vector<sim::Event>& events, sim::Event e) {
   throw InvariantError("event missing from capture request");
 }
 
-void capture_multi_run(const std::vector<sim::AppProfile>& corpus,
-                       const std::vector<sim::Event>& events,
-                       const CaptureConfig& cfg, Capture& out) {
+/// Rows captured for one application — the unit of parallel work. Each
+/// task owns a fresh Container/Machine; all randomness derives from the
+/// AppProfile's seed and the run index, so tasks are independent and their
+/// output does not depend on which thread (or in which order) they ran.
+struct AppCapture {
+  std::vector<std::vector<double>> rows;
+  std::uint64_t runs = 0;
+};
+
+AppCapture capture_app_multi_run(const sim::AppProfile& app,
+                                 const std::vector<sim::Event>& events,
+                                 const std::vector<std::vector<sim::Event>>& batches,
+                                 const CaptureConfig& cfg) {
   Container container(cfg.machine, cfg.pmu);
-  const auto batches =
-      schedule_batches(events, container.pmu().hardware_slots());
+  AppCapture out;
+  // rows for this app, assembled across batches by interval index.
+  out.rows.assign(app.intervals,
+                  std::vector<double>(events.size(),
+                                      std::numeric_limits<double>::quiet_NaN()));
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const RunTrace trace =
+        container.run(app, static_cast<std::uint32_t>(b), batches[b]);
+    HMD_INVARIANT(trace.samples.size() == app.intervals);
+    for (std::size_t i = 0; i < trace.samples.size(); ++i)
+      for (std::size_t j = 0; j < trace.events.size(); ++j)
+        out.rows[i][column_of(events, trace.events[j])] =
+            static_cast<double>(trace.samples[i][j]);
+  }
+  for (const auto& row : out.rows)
+    for (double v : row)
+      HMD_INVARIANT(v == v);  // every column filled by some batch
+  out.runs = container.runs_executed();
+  return out;
+}
+
+AppCapture capture_app_multiplex(const sim::AppProfile& app,
+                                 const std::vector<sim::Event>& events,
+                                 const std::vector<std::vector<sim::Event>>& batches,
+                                 const CaptureConfig& cfg) {
+  sim::Machine machine(cfg.machine);
+  Pmu pmu(cfg.pmu);
+  machine.start_run(app, /*run_index=*/0);
+
+  AppCapture out;
+  out.runs = 1;
+  std::vector<double> last_seen(events.size(),
+                                std::numeric_limits<double>::quiet_NaN());
+  std::size_t interval = 0;
+  while (machine.running()) {
+    const auto& batch = batches[interval % batches.size()];
+    pmu.program(batch);
+    const sim::EventCounts counts = machine.next_interval();
+    pmu.observe(counts);
+    const auto values = pmu.sample_and_clear();
+    for (std::size_t j = 0; j < batch.size(); ++j)
+      last_seen[column_of(events, batch[j])] = static_cast<double>(values[j]);
+
+    // Emit a row only once every event has been measured at least once
+    // (perf reports scaled estimates; we model hold-last-value).
+    const bool complete =
+        std::none_of(last_seen.begin(), last_seen.end(),
+                     [](double v) { return v != v; });
+    if (complete) out.rows.push_back(last_seen);
+    ++interval;
+  }
+  return out;
+}
+
+AppCapture capture_app_oracle(const sim::AppProfile& app,
+                              const std::vector<sim::Event>& events,
+                              const CaptureConfig& cfg) {
+  sim::Machine machine(cfg.machine);
+  machine.start_run(app, /*run_index=*/0);
+
+  AppCapture out;
+  out.runs = 1;
+  while (machine.running()) {
+    const sim::EventCounts counts = machine.next_interval();
+    std::vector<double> row(events.size());
+    for (std::size_t j = 0; j < events.size(); ++j)
+      row[j] = static_cast<double>(counts[events[j]]);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+/// Run the per-app capture tasks on a pool and assemble the labelled
+/// matrix in corpus order, regardless of task completion order.
+void capture_parallel(
+    const std::vector<sim::AppProfile>& corpus, const CaptureConfig& cfg,
+    const std::function<AppCapture(const sim::AppProfile&)>& capture_app,
+    Capture& out) {
+  support::ThreadPool pool(cfg.threads);
+  auto per_app = pool.parallel_map(
+      corpus.size(),
+      [&](std::size_t a) { return capture_app(corpus[a]); });
   for (std::size_t a = 0; a < corpus.size(); ++a) {
     const sim::AppProfile& app = corpus[a];
-    // rows for this app, assembled across batches by interval index.
-    std::vector<std::vector<double>> app_rows(
-        app.intervals,
-        std::vector<double>(events.size(),
-                            std::numeric_limits<double>::quiet_NaN()));
-    for (std::size_t b = 0; b < batches.size(); ++b) {
-      const RunTrace trace =
-          container.run(app, static_cast<std::uint32_t>(b), batches[b]);
-      HMD_INVARIANT(trace.samples.size() == app.intervals);
-      for (std::size_t i = 0; i < trace.samples.size(); ++i)
-        for (std::size_t j = 0; j < trace.events.size(); ++j)
-          app_rows[i][column_of(events, trace.events[j])] =
-              static_cast<double>(trace.samples[i][j]);
-    }
-    for (auto& row : app_rows) {
-      for (double v : row)
-        HMD_INVARIANT(v == v);  // every column filled by some batch
+    for (auto& row : per_app[a].rows) {
       out.rows.push_back(std::move(row));
       out.labels.push_back(app.is_malware ? 1 : 0);
       out.row_app.push_back(a);
     }
+    out.total_runs += per_app[a].runs;
   }
-  out.total_runs = container.runs_executed();
-}
-
-void capture_multiplex(const std::vector<sim::AppProfile>& corpus,
-                       const std::vector<sim::Event>& events,
-                       const CaptureConfig& cfg, Capture& out) {
-  const auto batches = schedule_batches(events, cfg.pmu.programmable_counters);
-  std::uint64_t runs = 0;
-  for (std::size_t a = 0; a < corpus.size(); ++a) {
-    const sim::AppProfile& app = corpus[a];
-    sim::Machine machine(cfg.machine);
-    Pmu pmu(cfg.pmu);
-    machine.start_run(app, /*run_index=*/0);
-    ++runs;
-
-    std::vector<double> last_seen(events.size(),
-                                  std::numeric_limits<double>::quiet_NaN());
-    std::size_t interval = 0;
-    while (machine.running()) {
-      const auto& batch = batches[interval % batches.size()];
-      pmu.program(batch);
-      const sim::EventCounts counts = machine.next_interval();
-      pmu.observe(counts);
-      const auto values = pmu.sample_and_clear();
-      for (std::size_t j = 0; j < batch.size(); ++j)
-        last_seen[column_of(events, batch[j])] =
-            static_cast<double>(values[j]);
-
-      // Emit a row only once every event has been measured at least once
-      // (perf reports scaled estimates; we model hold-last-value).
-      const bool complete =
-          std::none_of(last_seen.begin(), last_seen.end(),
-                       [](double v) { return v != v; });
-      if (complete) {
-        out.rows.push_back(last_seen);
-        out.labels.push_back(app.is_malware ? 1 : 0);
-        out.row_app.push_back(a);
-      }
-      ++interval;
-    }
-  }
-  out.total_runs = runs;
-}
-
-void capture_oracle(const std::vector<sim::AppProfile>& corpus,
-                    const std::vector<sim::Event>& events,
-                    const CaptureConfig& cfg, Capture& out) {
-  std::uint64_t runs = 0;
-  for (std::size_t a = 0; a < corpus.size(); ++a) {
-    const sim::AppProfile& app = corpus[a];
-    sim::Machine machine(cfg.machine);
-    machine.start_run(app, /*run_index=*/0);
-    ++runs;
-    while (machine.running()) {
-      const sim::EventCounts counts = machine.next_interval();
-      std::vector<double> row(events.size());
-      for (std::size_t j = 0; j < events.size(); ++j)
-        row[j] = static_cast<double>(counts[events[j]]);
-      out.rows.push_back(std::move(row));
-      out.labels.push_back(app.is_malware ? 1 : 0);
-      out.row_app.push_back(a);
-    }
-  }
-  out.total_runs = runs;
 }
 
 }  // namespace
@@ -138,14 +151,35 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
   }
 
   switch (cfg.protocol) {
-    case CaptureProtocol::kMultiRun:
-      capture_multi_run(corpus, events, cfg, out);
+    case CaptureProtocol::kMultiRun: {
+      const auto batches =
+          schedule_batches(events, Pmu(cfg.pmu).hardware_slots());
+      capture_parallel(
+          corpus, cfg,
+          [&](const sim::AppProfile& app) {
+            return capture_app_multi_run(app, events, batches, cfg);
+          },
+          out);
       break;
-    case CaptureProtocol::kMultiplex:
-      capture_multiplex(corpus, events, cfg, out);
+    }
+    case CaptureProtocol::kMultiplex: {
+      const auto batches =
+          schedule_batches(events, cfg.pmu.programmable_counters);
+      capture_parallel(
+          corpus, cfg,
+          [&](const sim::AppProfile& app) {
+            return capture_app_multiplex(app, events, batches, cfg);
+          },
+          out);
       break;
+    }
     case CaptureProtocol::kOracle:
-      capture_oracle(corpus, events, cfg, out);
+      capture_parallel(
+          corpus, cfg,
+          [&](const sim::AppProfile& app) {
+            return capture_app_oracle(app, events, cfg);
+          },
+          out);
       break;
   }
   return out;

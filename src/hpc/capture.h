@@ -37,6 +37,11 @@ struct CaptureConfig {
   sim::MachineConfig machine{};
   PmuConfig pmu{};
   CaptureProtocol protocol = CaptureProtocol::kMultiRun;
+  /// Worker threads for the per-application capture campaign; 0 = auto
+  /// (HMD_THREADS, else hardware_concurrency). Every application's runs are
+  /// seeded from its own AppProfile::seed and assembled in corpus order, so
+  /// the capture is bit-identical for any thread count.
+  std::size_t threads = 0;
 };
 
 /// A labelled per-interval feature matrix over a corpus of applications.

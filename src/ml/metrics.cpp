@@ -112,6 +112,24 @@ std::vector<double> score_dataset(const Classifier& clf, const Dataset& data) {
   return scores;
 }
 
+DetectorMetrics detector_metrics(std::span<const double> scores,
+                                 std::span<const int> labels,
+                                 std::span<const double> weights) {
+  HMD_REQUIRE(scores.size() == labels.size());
+  HMD_REQUIRE(weights.empty() || weights.size() == scores.size());
+  double correct = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const int pred = scores[i] >= 0.5 ? 1 : 0;
+    if (pred == labels[i]) correct += w;
+    total += w;
+  }
+  DetectorMetrics m;
+  m.accuracy = total > 0.0 ? correct / total : 0.0;
+  m.auc = auc(scores, labels, weights);
+  return m;
+}
+
 DetectorMetrics evaluate_detector(const Classifier& clf, const Dataset& data) {
   HMD_REQUIRE(data.num_rows() > 0);
   const auto scores = score_dataset(clf, data);
@@ -119,18 +137,11 @@ DetectorMetrics evaluate_detector(const Classifier& clf, const Dataset& data) {
   std::vector<double> weights;
   labels.reserve(data.num_rows());
   weights.reserve(data.num_rows());
-  double correct = 0.0, total = 0.0;
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
     labels.push_back(data.label(i));
     weights.push_back(data.weight(i));
-    const int pred = scores[i] >= 0.5 ? 1 : 0;
-    if (pred == data.label(i)) correct += data.weight(i);
-    total += data.weight(i);
   }
-  DetectorMetrics m;
-  m.accuracy = total > 0.0 ? correct / total : 0.0;
-  m.auc = auc(scores, labels, weights);
-  return m;
+  return detector_metrics(scores, labels, weights);
 }
 
 }  // namespace hmd::ml

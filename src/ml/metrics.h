@@ -53,6 +53,14 @@ struct DetectorMetrics {
   double performance() const { return accuracy * auc; }  ///< ACC×AUC
 };
 
+/// Accuracy (0.5 threshold) + AUC from an existing score pass. Lets a
+/// caller that already has the scores (e.g. for ROC curves) compute the
+/// paper's metrics without re-scoring or re-training. Unweighted if
+/// `weights` is empty.
+DetectorMetrics detector_metrics(std::span<const double> scores,
+                                 std::span<const int> labels,
+                                 std::span<const double> weights = {});
+
 /// Collect scores over `data` and compute accuracy + AUC in one pass.
 DetectorMetrics evaluate_detector(const Classifier& clf, const Dataset& data);
 

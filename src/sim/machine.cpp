@@ -58,6 +58,8 @@ void Machine::reset() {
   app_ = nullptr;
   interval_ = 0;
   total_intervals_ = 0;
+  fetch_slot_ = 0;
+  need_fetch_ = true;
   extra_frontend_ = extra_backend_ = 0.0;
 }
 

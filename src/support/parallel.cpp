@@ -1,0 +1,116 @@
+#include "support/parallel.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/check.h"
+
+namespace hmd::support {
+namespace {
+
+/// Set while the current thread is executing a unit on behalf of any pool,
+/// so nested parallel_for calls degrade to inline execution instead of
+/// deadlocking on their own pool or over-subscribing another.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+std::optional<std::size_t> parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;
+  if (v == 0 || v > 1024) return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const auto env = parse_thread_count(std::getenv("HMD_THREADS")))
+    return *env;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : size_(resolve_threads(threads)) {
+  if (size_ == 1) return;  // inline mode: no workers, no synchronisation
+  workers_.reserve(size_);
+  for (std::size_t t = 0; t < size_; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_serial(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || tls_in_pool_worker) {
+    run_serial(n, fn);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  HMD_REQUIRE_MSG(job_ == nullptr,
+                  "ThreadPool supports one parallel_for at a time");
+  job_ = &fn;
+  job_n_ = n;
+  next_ = 0;
+  error_ = nullptr;
+  error_index_ = n;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return next_ >= job_n_ && active_ == 0; });
+  job_ = nullptr;
+  if (error_ != nullptr) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (job_ != nullptr && next_ < job_n_);
+    });
+    if (stop_) return;
+    while (job_ != nullptr && next_ < job_n_) {
+      const std::size_t index = next_++;
+      ++active_;
+      lock.unlock();
+      tls_in_pool_worker = true;
+      std::exception_ptr thrown;
+      try {
+        (*job_)(index);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      tls_in_pool_worker = false;
+      lock.lock();
+      if (thrown != nullptr && index < error_index_) {
+        // Every unit still runs; reporting the lowest-index failure keeps
+        // the observable error independent of scheduling.
+        error_ = thrown;
+        error_index_ = index;
+      }
+      --active_;
+      if (next_ >= job_n_ && active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hmd::support

@@ -1,0 +1,99 @@
+// Deterministic parallel execution for the experiment pipeline.
+//
+// The paper's workload is embarrassingly parallel at two levels — the
+// 11-runs-per-application capture campaign and the 8 classifiers ×
+// {General, Boosted, Bagging} × {16,8,4,2} evaluation grid — and every unit
+// of work derives its randomness from explicit per-unit seeds (see
+// support/rng.h), never from shared mutable state. ThreadPool exploits
+// that: `parallel_for(n, fn)` runs fn(0..n-1) on a fixed set of workers and
+// `parallel_map` assembles results *in input order*, so the output of a
+// parallel run is bit-identical to a serial one. Determinism contract:
+//
+//   * work unit i must depend only on i and on state that is immutable for
+//     the duration of the call (enforced by convention, checked by the
+//     serial-vs-parallel tests);
+//   * results are written to slot i, never appended, so completion order
+//     cannot leak into the output;
+//   * if several units throw, the exception of the *lowest* index is
+//     rethrown — every unit still runs, keeping error reporting
+//     deterministic too.
+//
+// Thread count: an explicit request wins; 0 means "auto" — the HMD_THREADS
+// environment variable if set, else std::thread::hardware_concurrency().
+// A pool of size 1 spawns no threads at all and runs everything inline,
+// which is both the degenerate-correctness baseline and the fallback used
+// for nested parallel_for calls from inside a worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hmd::support {
+
+/// Parse a thread-count override in the HMD_THREADS format: a positive
+/// decimal integer. Returns nullopt for null, empty, zero, junk, or
+/// implausibly large (> 1024) values.
+std::optional<std::size_t> parse_thread_count(const char* text);
+
+/// Effective worker count for a request: `requested` if positive, else
+/// HMD_THREADS from the environment, else hardware_concurrency (min 1).
+std::size_t resolve_threads(std::size_t requested = 0);
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves via resolve_threads(). A pool of size 1 owns
+  /// no worker threads and executes inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Invoke fn(i) for every i in [0, n); blocks until all complete.
+  /// One parallel_for may be in flight per pool at a time; a call made
+  /// from inside a worker of any pool runs inline (no nested fan-out).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for that collects fn(i) into slot i of the result vector —
+  /// the output order is the input order regardless of scheduling.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    using R = decltype(fn(std::size_t{}));
+    std::vector<std::optional<R>> slots(n);
+    parallel_for(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  void run_serial(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait for a job
+  std::condition_variable done_cv_;  ///< the caller waits for completion
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t next_ = 0;    ///< next unclaimed index of the current job
+  std::size_t active_ = 0;  ///< workers currently executing a unit
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;  ///< lowest index that threw so far
+};
+
+}  // namespace hmd::support

@@ -1,0 +1,268 @@
+// Tests for the deterministic parallel execution layer: the ThreadPool
+// itself (ordering, exception propagation, degenerate sizes) and the hard
+// bit-exactness contract — serial and parallel runs of the capture
+// campaign and the evaluation grid must produce identical bits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.h"
+#include "hpc/capture.h"
+#include "sim/workloads.h"
+#include "support/check.h"
+#include "support/parallel.h"
+
+namespace hmd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit tests.
+
+TEST(ParseThreadCount, AcceptsPositiveIntegers) {
+  EXPECT_EQ(support::parse_thread_count("1"), 1u);
+  EXPECT_EQ(support::parse_thread_count("4"), 4u);
+  EXPECT_EQ(support::parse_thread_count("128"), 128u);
+}
+
+TEST(ParseThreadCount, RejectsJunk) {
+  EXPECT_FALSE(support::parse_thread_count(nullptr).has_value());
+  EXPECT_FALSE(support::parse_thread_count("").has_value());
+  EXPECT_FALSE(support::parse_thread_count("0").has_value());
+  EXPECT_FALSE(support::parse_thread_count("-2").has_value());
+  EXPECT_FALSE(support::parse_thread_count("4x").has_value());
+  EXPECT_FALSE(support::parse_thread_count("abc").has_value());
+  EXPECT_FALSE(support::parse_thread_count("99999").has_value());
+}
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(support::resolve_threads(3), 3u);
+  EXPECT_EQ(support::resolve_threads(1), 1u);
+  EXPECT_GE(support::resolve_threads(0), 1u);  // env or hardware, at least 1
+}
+
+TEST(ThreadPool, MapReturnsResultsInInputOrder) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const auto out =
+      pool.parallel_map(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInIndexOrder) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;  // no mutex needed: inline execution
+  pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  support::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(501);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  support::ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, PropagatesException) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("unit 37");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsDeterministically) {
+  support::ThreadPool pool(4);
+  try {
+    pool.parallel_for(300, [](std::size_t i) {
+      if (i == 11) throw std::runtime_error("eleven");
+      if (i == 250) throw std::runtime_error("two-fifty");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "eleven");
+  }
+}
+
+TEST(ThreadPool, ExceptionOnSingleThreadPool) {
+  support::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   5, [](std::size_t i) {
+                     if (i == 2) throw PreconditionError("boom");
+                   }),
+               PreconditionError);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  support::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(10, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  const auto out = pool.parallel_map(10, [](std::size_t i) { return i + 1; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  support::ThreadPool outer(2);
+  const auto out = outer.parallel_map(8, [](std::size_t i) {
+    support::ThreadPool inner(4);  // degrades to inline inside a worker
+    std::size_t sum = 0;
+    inner.parallel_for(10, [&](std::size_t j) { sum += i * 10 + j; });
+    return sum;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], i * 100 + 45);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exactness: serial (1 thread) vs parallel (4 threads) must agree on
+// every bit of the capture, the grid metrics, and the model structures.
+
+core::ExperimentConfig tiny_config(std::size_t threads) {
+  core::ExperimentConfig cfg;
+  cfg.corpus.benign_per_template = 1;
+  cfg.corpus.malware_per_template = 1;
+  cfg.corpus.intervals_per_app = 6;
+  cfg.threads = threads;
+  return cfg;
+}
+
+void expect_same_capture(const hpc::Capture& a, const hpc::Capture& b) {
+  EXPECT_EQ(a.feature_names, b.feature_names);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.row_app, b.row_app);
+  EXPECT_EQ(a.app_names, b.app_names);
+  EXPECT_EQ(a.app_labels, b.app_labels);
+  EXPECT_EQ(a.total_runs, b.total_runs);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(a.rows, b.rows);  // exact doubles, no tolerance
+}
+
+void expect_same_complexity(const ml::ModelComplexity& a,
+                            const ml::ModelComplexity& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.comparators, b.comparators);
+  EXPECT_EQ(a.adders, b.adders);
+  EXPECT_EQ(a.multipliers, b.multipliers);
+  EXPECT_EQ(a.table_entries, b.table_entries);
+  EXPECT_EQ(a.nonlinearities, b.nonlinearities);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.inputs, b.inputs);
+  ASSERT_EQ(a.children.size(), b.children.size());
+  for (std::size_t i = 0; i < a.children.size(); ++i)
+    expect_same_complexity(a.children[i], b.children[i]);
+}
+
+TEST(ParallelDeterminism, CaptureIsBitIdenticalAcrossThreadCounts) {
+  const auto corpus = sim::build_corpus(tiny_config(1).corpus);
+  hpc::CaptureConfig serial_cfg;
+  serial_cfg.threads = 1;
+  hpc::CaptureConfig parallel_cfg;
+  parallel_cfg.threads = 4;
+  const auto serial = hpc::capture_all_events(corpus, serial_cfg);
+  const auto parallel = hpc::capture_all_events(corpus, parallel_cfg);
+  expect_same_capture(serial, parallel);
+}
+
+TEST(ParallelDeterminism, MultiplexAndOracleCaptureMatchToo) {
+  auto cfg = tiny_config(1);
+  const auto corpus = sim::build_corpus(cfg.corpus);
+  for (const auto protocol :
+       {hpc::CaptureProtocol::kMultiplex, hpc::CaptureProtocol::kOracle}) {
+    hpc::CaptureConfig serial_cfg;
+    serial_cfg.protocol = protocol;
+    serial_cfg.threads = 1;
+    hpc::CaptureConfig parallel_cfg = serial_cfg;
+    parallel_cfg.threads = 4;
+    expect_same_capture(hpc::capture_all_events(corpus, serial_cfg),
+                        hpc::capture_all_events(corpus, parallel_cfg));
+  }
+}
+
+TEST(ParallelDeterminism, GridResultsAreBitIdenticalAcrossThreadCounts) {
+  const auto serial_ctx = core::prepare_experiment(tiny_config(1));
+  const auto parallel_ctx = core::prepare_experiment(tiny_config(4));
+
+  // The contexts themselves must already agree bit-for-bit.
+  expect_same_capture(serial_ctx.capture, parallel_ctx.capture);
+  ASSERT_EQ(serial_ctx.ranking.size(), parallel_ctx.ranking.size());
+  for (std::size_t i = 0; i < serial_ctx.ranking.size(); ++i) {
+    EXPECT_EQ(serial_ctx.ranking[i].feature, parallel_ctx.ranking[i].feature);
+    EXPECT_EQ(serial_ctx.ranking[i].score, parallel_ctx.ranking[i].score);
+  }
+
+  // A cheap but representative slice of the grid: 3 classifier families ×
+  // 3 ensembles × {4, 2} HPCs = 18 cells.
+  std::vector<core::GridCell> cells;
+  for (ml::ClassifierKind kind :
+       {ml::ClassifierKind::kJ48, ml::ClassifierKind::kOneR,
+        ml::ClassifierKind::kBayesNet})
+    for (ml::EnsembleKind ens : ml::all_ensemble_kinds())
+      for (std::size_t hpcs : {4u, 2u}) cells.push_back({kind, ens, hpcs});
+
+  const auto serial = core::run_grid(serial_ctx, cells, 1);
+  const auto parallel = core::run_grid(parallel_ctx, cells, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].classifier, parallel[i].classifier);
+    EXPECT_EQ(serial[i].ensemble, parallel[i].ensemble);
+    EXPECT_EQ(serial[i].hpcs, parallel[i].hpcs);
+    // Metrics must match to the last bit, not within a tolerance.
+    EXPECT_EQ(serial[i].metrics.accuracy, parallel[i].metrics.accuracy);
+    EXPECT_EQ(serial[i].metrics.auc, parallel[i].metrics.auc);
+    expect_same_complexity(serial[i].complexity, parallel[i].complexity);
+  }
+}
+
+TEST(ParallelDeterminism, CellScoresComeFromTheSameTrainingRun) {
+  const auto ctx = core::prepare_experiment(tiny_config(2));
+  const auto full = core::run_cell_full(ctx, ml::ClassifierKind::kRepTree,
+                                        ml::EnsembleKind::kAdaBoost, 2);
+  const auto result = core::run_cell(ctx, ml::ClassifierKind::kRepTree,
+                                     ml::EnsembleKind::kAdaBoost, 2);
+  const auto scores = core::run_cell_scores(ctx, ml::ClassifierKind::kRepTree,
+                                            ml::EnsembleKind::kAdaBoost, 2);
+  EXPECT_EQ(full.result.metrics.accuracy, result.metrics.accuracy);
+  EXPECT_EQ(full.result.metrics.auc, result.metrics.auc);
+  EXPECT_EQ(full.scores.scores, scores.scores);
+  EXPECT_EQ(full.scores.labels, scores.labels);
+  // The metrics derive from the very scores exposed for the ROC curves.
+  const auto recomputed =
+      ml::detector_metrics(full.scores.scores, full.scores.labels);
+  EXPECT_EQ(recomputed.accuracy, full.result.metrics.accuracy);
+  EXPECT_EQ(recomputed.auc, full.result.metrics.auc);
+}
+
+TEST(ParallelDeterminism, ProjectedSplitIsCachedAndStable) {
+  const auto ctx = core::prepare_experiment(tiny_config(2));
+  const ml::Split& first = ctx.projected_split(4);
+  const ml::Split& again = ctx.projected_split(4);
+  EXPECT_EQ(&first, &again);  // same materialisation, not a copy
+  EXPECT_EQ(first.train.num_features(), 4u);
+  EXPECT_EQ(first.test.num_features(), 4u);
+  EXPECT_EQ(first.train.num_rows(), ctx.split.train.num_rows());
+
+  // Concurrent first-touch from many threads builds each projection once
+  // and never tears: all returned references must be identical.
+  const auto fresh = core::prepare_experiment(tiny_config(4));
+  support::ThreadPool pool(4);
+  const auto refs = pool.parallel_map(16, [&](std::size_t i) {
+    return &fresh.projected_split(i % 2 == 0 ? 4 : 2);
+  });
+  for (std::size_t i = 2; i < refs.size(); ++i)
+    EXPECT_EQ(refs[i], refs[i - 2]);
+}
+
+}  // namespace
+}  // namespace hmd

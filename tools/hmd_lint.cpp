@@ -15,7 +15,10 @@
 // tool slots directly into CI between training and synthesis/deployment.
 //
 // Flags: --quick (reduced corpus), --seed N, --fraction-bits B,
-//        --max-mismatch R (differential tolerance, default 0.02).
+//        --max-mismatch R (differential tolerance, default 0.02),
+//        --threads N (workers for capture + grid analysis; default
+//        HMD_THREADS env, else hardware_concurrency — verdicts are
+//        identical for any thread count).
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -57,17 +60,20 @@ struct CellVerdict {
 };
 
 CellVerdict lint_cell(const hmd::core::ExperimentContext& ctx,
-                      hmd::ml::ClassifierKind kind,
-                      hmd::ml::EnsembleKind ensemble, std::size_t hpcs,
+                      const hmd::core::GridCell& cell,
                       const LintArgs& args) {
   using namespace hmd;
 
-  const auto features = ctx.top_features(hpcs);
-  const ml::Dataset train = ctx.split.train.select_features(features);
-  const ml::Dataset test = ctx.split.test.select_features(features);
+  const ml::ClassifierKind kind = cell.classifier;
+  const ml::EnsembleKind ensemble = cell.ensemble;
+  const std::size_t hpcs = cell.hpcs;
+
+  // Shared, cached feature projection — 24 cells per HPC budget reuse it.
+  const ml::Split& projected = ctx.projected_split(hpcs);
+  const ml::Dataset& test = projected.test;
 
   auto detector = ml::make_detector(kind, ensemble, ctx.config.model_seed);
-  detector->train(train);
+  detector->train(projected.train);
 
   CellVerdict verdict;
   std::ostringstream detail;
@@ -126,36 +132,42 @@ int main(int argc, char** argv) {
   const LintArgs args = parse_args(argc, argv);
   const auto ctx = benchutil::prepare(args.config, "hmd_lint");
 
-  constexpr std::size_t kHpcGrid[] = {16, 8, 4, 2};
+  // The full 96-model grid, analysed concurrently (one task per cell);
+  // verdicts come back in grid order, so the report is deterministic.
+  const auto cells = core::full_grid();
+  const auto verdicts =
+      core::map_grid(ctx, cells, args.config.threads,
+                     [&](const core::GridCell& cell) {
+                       return lint_cell(ctx, cell, args);
+                     });
 
   TextTable table("hmd_lint — model integrity across the experiment grid");
   table.set_header({"Detector", "16HPC", "8HPC", "4HPC", "2HPC"});
 
-  std::size_t failed_cells = 0, total_cells = 0;
-  for (ml::ClassifierKind kind : ml::all_classifier_kinds()) {
-    for (ml::EnsembleKind ensemble : ml::all_ensemble_kinds()) {
-      std::vector<std::string> row;
-      row.push_back(std::string(ml::ensemble_kind_name(ensemble)) + " " +
-                    std::string(ml::classifier_kind_name(kind)));
-      for (std::size_t hpcs : kHpcGrid) {
-        ++total_cells;
-        const CellVerdict verdict =
-            lint_cell(ctx, kind, ensemble, hpcs, args);
-        std::string cell = verdict.pass ? "pass" : "FAIL";
-        if (verdict.warnings > 0)
-          cell += " (" + std::to_string(verdict.warnings) + "w)";
-        if (!verdict.pass) {
-          ++failed_cells;
-          cell += " (" + std::to_string(verdict.errors) + "e)";
-          std::cerr << "[hmd_lint] " << row.front() << " @ " << hpcs
-                    << " HPCs:\n"
-                    << verdict.detail;
-        }
-        row.push_back(std::move(cell));
+  std::size_t failed_cells = 0;
+  const std::size_t total_cells = cells.size();
+  // full_grid() is classifier-major, then ensemble, then {16,8,4,2}: four
+  // consecutive verdicts form one table row.
+  for (std::size_t i = 0; i < verdicts.size(); i += 4) {
+    std::vector<std::string> row;
+    row.push_back(
+        std::string(ml::ensemble_kind_name(cells[i].ensemble)) + " " +
+        std::string(ml::classifier_kind_name(cells[i].classifier)));
+    for (std::size_t c = 0; c < 4; ++c) {
+      const CellVerdict& verdict = verdicts[i + c];
+      std::string cell = verdict.pass ? "pass" : "FAIL";
+      if (verdict.warnings > 0)
+        cell += " (" + std::to_string(verdict.warnings) + "w)";
+      if (!verdict.pass) {
+        ++failed_cells;
+        cell += " (" + std::to_string(verdict.errors) + "e)";
+        std::cerr << "[hmd_lint] " << row.front() << " @ "
+                  << cells[i + c].hpcs << " HPCs:\n"
+                  << verdict.detail;
       }
-      std::fprintf(stderr, "[hmd_lint] %s done\n", row.front().c_str());
-      table.add_row(std::move(row));
+      row.push_back(std::move(cell));
     }
+    table.add_row(std::move(row));
   }
 
   table.print(std::cout);
