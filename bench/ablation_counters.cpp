@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
         hpc::CaptureProtocol::kOracle}) {
     core::ExperimentConfig pcfg = cfg;
     pcfg.capture.protocol = protocol;
+    // Stochastic fault injection models the multi-run protocol only; the
+    // protocol comparison always runs clean (ablation_faults owns faults).
+    pcfg.capture.faults = {};
     const auto pctx = core::prepare_experiment(pcfg);
     const auto cell = core::run_cell(pctx, ml::ClassifierKind::kJ48,
                                      ml::EnsembleKind::kBagging, 4);

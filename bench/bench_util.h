@@ -5,14 +5,20 @@
 //   --threads N  worker threads for capture + grid evaluation
 //                (default: HMD_THREADS env, else hardware_concurrency;
 //                 results are bit-identical for any thread count)
+//   --faults P   fault-injection profile for the capture campaign:
+//                none (default) | light | heavy (see hpc::fault_profile)
+//   --fault-seed N  seed of the fault stream (default 0); faulted captures
+//                are bit-identical for a given (corpus seed, fault seed)
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/hmd.h"
+#include "hpc/faults.h"
 #include "support/parallel.h"
 #include "support/table.h"
 
@@ -38,6 +44,8 @@ inline core::ExperimentConfig quick_config() {
 inline core::ExperimentConfig config_from_args(int argc, char** argv) {
   core::ExperimentConfig cfg = standard_config();
   std::size_t threads = 0;
+  hpc::FaultProfile profile = hpc::FaultProfile::kNone;
+  std::uint64_t fault_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) cfg = quick_config();
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
@@ -46,8 +54,22 @@ inline core::ExperimentConfig config_from_args(int argc, char** argv) {
       const auto parsed = support::parse_thread_count(argv[i + 1]);
       if (parsed) threads = *parsed;
     }
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      const auto parsed = hpc::fault_profile_from_name(argv[i + 1]);
+      if (parsed) {
+        profile = *parsed;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --faults profile '%s' (want none|light|heavy)\n",
+                     argv[i + 1]);
+        std::exit(2);
+      }
+    }
+    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc)
+      fault_seed = std::strtoull(argv[i + 1], nullptr, 10);
   }
   cfg.threads = threads;  // 0 falls back to HMD_THREADS, then auto
+  cfg.capture.faults = hpc::fault_profile(profile, fault_seed);
   return cfg;
 }
 
@@ -59,10 +81,11 @@ inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
   std::fprintf(stderr,
                "[%s] capturing corpus (%u benign + %u malware variants per "
                "template, %u intervals, multi-run 4-counter PMU, %zu "
-               "threads)...\n",
+               "threads, faults: %s)...\n",
                what, cfg.corpus.benign_per_template,
                cfg.corpus.malware_per_template, cfg.corpus.intervals_per_app,
-               support::resolve_threads(cfg.threads));
+               support::resolve_threads(cfg.threads),
+               hpc::describe_faults(cfg.capture.faults).c_str());
   const auto t0 = std::chrono::steady_clock::now();
   auto ctx = core::prepare_experiment(cfg);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -75,6 +98,20 @@ inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
                ctx.split.test.num_rows(),
                static_cast<unsigned long long>(ctx.capture.total_runs),
                static_cast<long long>(ms));
+  const hpc::CaptureReport& rep = ctx.capture.report;
+  if (rep.total_retries() > 0 || rep.quarantined_apps() > 0 ||
+      rep.total_imputed_cells() > 0 || !rep.degraded_events.empty()) {
+    std::fprintf(stderr,
+                 "[%s] capture faults handled: %llu retries (%llu ms backoff "
+                 "accounted), %zu/%zu apps quarantined, %zu/%zu cells "
+                 "imputed, %zu events degraded\n",
+                 what,
+                 static_cast<unsigned long long>(rep.total_retries()),
+                 static_cast<unsigned long long>(rep.total_backoff_ms()),
+                 rep.quarantined_apps(), rep.apps.size(),
+                 rep.total_imputed_cells(), rep.total_cells(),
+                 rep.degraded_events.size());
+  }
   if (capture_ms_out != nullptr) *capture_ms_out = ms;
   return ctx;
 }

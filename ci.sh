@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verification run three times.
+# CI entry point: the tier-1 verification run three times, plus a
+# fault-injection leg.
 #
 #   1. Release, warnings-as-errors — the production configuration must
 #      compile warning-clean under -Wall -Wextra -Wshadow -Wconversion
@@ -12,6 +13,11 @@
 #      grid paths onto 4 workers even where a test does not ask for
 #      parallelism, so every data race in the deterministic parallel layer
 #      is a ctest failure.
+#   4. Fault-injection leg (reuses the ASan/UBSan tree): the fault-sweep
+#      ablation under the heavy profile must quarantine rather than crash,
+#      and hmd_lint over a lightly-faulted capture must keep the
+#      quarantine/imputation budgets — both with sanitizers watching the
+#      error-handling paths that a clean run never executes.
 #
 # Each build uses its own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
 # or JOBS (default: all cores).
@@ -20,7 +26,7 @@ cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "=== [1/2] Release + HMD_WARNINGS_AS_ERRORS=ON ==="
+echo "=== [1/4] Release + HMD_WARNINGS_AS_ERRORS=ON ==="
 cmake -B build-ci-release -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DHMD_WARNINGS_AS_ERRORS=ON
@@ -30,7 +36,7 @@ cmake --build build-ci-release -j "${JOBS}"
 echo "=== [1b] hmd_lint: analyzers over the experiment grid (quick) ==="
 ./build-ci-release/tools/hmd_lint --quick
 
-echo "=== [2/2] Debug + HMD_SANITIZE=address;undefined ==="
+echo "=== [2/4] Debug + HMD_SANITIZE=address;undefined ==="
 cmake -B build-ci-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DHMD_SANITIZE="address;undefined"
@@ -40,7 +46,15 @@ cmake --build build-ci-asan -j "${JOBS}"
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --output-on-failure -j "${JOBS}")
 
-echo "=== [3/3] Debug + HMD_SANITIZE=thread, HMD_THREADS=4 ==="
+echo "=== [3/4] fault injection under ASan/UBSan: heavy sweep + lint budgets ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ./build-ci-asan/bench/ablation_faults --quick --faults heavy
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ./build-ci-asan/tools/hmd_lint --quick --faults light
+
+echo "=== [4/4] Debug + HMD_SANITIZE=thread, HMD_THREADS=4 ==="
 cmake -B build-ci-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DHMD_SANITIZE=thread

@@ -42,6 +42,15 @@ ExperimentContext prepare_experiment(const ExperimentConfig& config) {
   hpc::CaptureConfig capture_cfg = config.capture;
   if (capture_cfg.threads == 0) capture_cfg.threads = config.threads;
   ctx.capture = hpc::capture_all_events(corpus, capture_cfg);
+
+  // Protocol-cost accounting must stay honest under retries: the headline
+  // run counter and the per-app fault ledger are maintained separately and
+  // can only diverge through a bug, so divergence is fatal here rather
+  // than a silently wrong cost column in an ablation.
+  std::uint64_t ledger_runs = 0;
+  for (const auto& app : ctx.capture.report.apps) ledger_runs += app.attempts;
+  HMD_INVARIANT(ctx.capture.total_runs == ledger_runs);
+
   ctx.full = to_dataset(ctx.capture);
 
   Rng split_rng(config.split_seed);

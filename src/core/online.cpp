@@ -1,5 +1,7 @@
 #include "core/online.h"
 
+#include <algorithm>
+
 #include "core/experiment.h"
 #include "hpc/capture.h"
 #include "support/check.h"
@@ -16,22 +18,32 @@ OnlineDetector::OnlineDetector(std::shared_ptr<const ml::Classifier> model,
   HMD_REQUIRE(model_ != nullptr);
   HMD_REQUIRE(!events_.empty());
   HMD_REQUIRE(cfg_.alarm_off <= cfg_.alarm_on);
-  // The run-time constraint: the detector's events must be concurrently
-  // countable — this throws if they exceed the PMU width.
-  pmu_.program(events_);
+  // Graceful degradation: events this PMU cannot count are excluded from
+  // programming and fed held values instead of failing deployment.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (!pmu_.event_available(events_[i])) continue;
+    active_events_.push_back(events_[i]);
+    active_pos_.push_back(i);
+  }
+  HMD_REQUIRE_MSG(!active_events_.empty(),
+                  "no detector event is available on this PMU");
+  held_.assign(events_.size(), 0.0);
+  // The run-time constraint: the detector's (available) events must be
+  // concurrently countable — this throws if they exceed the PMU width.
+  pmu_.program(active_events_);
 }
 
 Verdict OnlineDetector::observe(const sim::EventCounts& counts) {
   pmu_.observe(counts);
   const auto values = pmu_.sample_and_clear();
-
-  std::vector<double> x(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i)
-    x[i] = static_cast<double>(values[i]);
+  for (std::size_t k = 0; k < values.size(); ++k)
+    held_[active_pos_[k]] = static_cast<double>(values[k]);
+  missing_streak_ = 0;  // a real sample refreshes the held state
 
   Verdict v;
   v.interval = interval_++;
-  v.score = model_->predict_proba(x);
+  v.degraded = degraded();
+  v.score = model_->predict_proba(held_);
 
   if (v.interval < cfg_.warmup_intervals) {
     // Cold caches make the first interval(s) unrepresentative.
@@ -53,11 +65,27 @@ Verdict OnlineDetector::observe(const sim::EventCounts& counts) {
   return v;
 }
 
+Verdict OnlineDetector::observe_missing() {
+  ++missing_streak_;
+  Verdict v;
+  v.interval = interval_++;
+  v.degraded = degraded();
+  // Hold, don't reset: a dropped sample is not evidence of anything, so
+  // the smoothed score and the alarm keep their last trustworthy values.
+  v.score = ewma_init_ ? ewma_ : 0.0;
+  v.ewma = ewma_init_ ? ewma_ : 0.0;
+  v.alarm = alarm_;
+  v.stale = stale();
+  return v;
+}
+
 void OnlineDetector::reset() {
   interval_ = 0;
+  missing_streak_ = 0;
   ewma_ = 0.0;
   ewma_init_ = false;
   alarm_ = false;
+  std::fill(held_.begin(), held_.end(), 0.0);
   pmu_.clear();
 }
 

@@ -23,6 +23,11 @@ struct OnlineConfig {
   double alarm_on = 0.60;        ///< EWMA level that raises the alarm
   double alarm_off = 0.40;       ///< EWMA level that clears it (hysteresis)
   std::size_t warmup_intervals = 1;  ///< ignore cold-start intervals
+  /// Staleness watchdog: after this many *consecutive* missing samples
+  /// (observe_missing), verdicts are flagged stale — the held EWMA/alarm
+  /// state can no longer be trusted, but the detector must not crash or
+  /// silently clear an alarm just because the collector hiccuped.
+  std::size_t max_stale_intervals = 8;
 };
 
 /// Per-interval verdict from the online detector.
@@ -31,13 +36,24 @@ struct Verdict {
   double score = 0.0;   ///< P(malware) for this sample
   double ewma = 0.0;    ///< smoothed score
   bool alarm = false;   ///< alarm state after this sample
+  bool degraded = false;  ///< some model features fed held values
+  bool stale = false;     ///< watchdog: EWMA older than max_stale_intervals
 };
 
 /// Streams PMU samples into a trained classifier.
+///
+/// Graceful degradation: if some of the model's events are unavailable on
+/// this PMU (PmuConfig::unavailable_events), the detector programs the
+/// best available subset and feeds held values (0 until ever measured) for
+/// the rest, flagging every verdict `degraded` — a weakened detector beats
+/// a crashed one at run time. Missing samples (dropped perf reads) are
+/// survived via observe_missing(): the EWMA and alarm hold, and a
+/// staleness watchdog flags verdicts once the data is too old.
 class OnlineDetector {
  public:
   /// `events` are the detector's input events, in the exact feature order
-  /// the classifier was trained with; they must fit the PMU width.
+  /// the classifier was trained with; the available subset must fit the
+  /// PMU width, and at least one event must be available.
   OnlineDetector(std::shared_ptr<const ml::Classifier> model,
                  std::vector<sim::Event> events, hpc::PmuConfig pmu = {},
                  OnlineConfig cfg = {});
@@ -45,11 +61,25 @@ class OnlineDetector {
   /// Feed one 10 ms interval of machine activity; returns the verdict.
   Verdict observe(const sim::EventCounts& counts);
 
-  /// Reset the EWMA/alarm state (e.g. a new application is scheduled).
+  /// The collector lost this interval's sample entirely: hold the EWMA
+  /// and alarm state instead of crashing or resetting, advance the
+  /// staleness watchdog, and report the held state.
+  Verdict observe_missing();
+
+  /// Reset the EWMA/alarm/staleness state (e.g. a new application).
   void reset();
 
   const std::vector<sim::Event>& events() const { return events_; }
+  /// The subset of events() actually programmed on this PMU.
+  const std::vector<sim::Event>& active_events() const {
+    return active_events_;
+  }
+  /// True when unavailable events forced a feature-subset fallback.
+  bool degraded() const { return active_events_.size() != events_.size(); }
   bool alarmed() const { return alarm_; }
+  std::size_t missing_streak() const { return missing_streak_; }
+  /// True once the watchdog considers the held state stale.
+  bool stale() const { return missing_streak_ > cfg_.max_stale_intervals; }
 
  private:
   std::shared_ptr<const ml::Classifier> model_;
@@ -57,7 +87,12 @@ class OnlineDetector {
   hpc::Pmu pmu_;
   OnlineConfig cfg_;
 
+  std::vector<sim::Event> active_events_;  ///< programmed subset of events_
+  std::vector<std::size_t> active_pos_;    ///< feature index of each active
+  std::vector<double> held_;  ///< last known value per model feature
+
   std::size_t interval_ = 0;
+  std::size_t missing_streak_ = 0;
   double ewma_ = 0.0;
   bool alarm_ = false;
   bool ewma_init_ = false;

@@ -1,14 +1,38 @@
 #include "hpc/capture.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <limits>
+#include <numeric>
 
 #include "support/check.h"
 #include "support/parallel.h"
 
 namespace hmd::hpc {
 namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Retries re-execute the app under a distinct run index so the retried
+/// run sees fresh (but still seeded) machine randomness — a crashed real
+/// run is a new execution, not a replay. The stride keeps retry indices
+/// clear of every batch index.
+constexpr std::uint32_t kAttemptRunStride = 1u << 20;
+
+/// Capped exponential backoff, *accounted* rather than slept: sleeping
+/// would make capture wall-clock (and thread-schedule) dependent, breaking
+/// the bit-determinism contract, but the cost must still show up in the
+/// report so protocol-cost ablations can price fault handling.
+constexpr std::uint64_t kBackoffBaseMs = 10;
+constexpr std::uint64_t kBackoffCapMs = 80;
+
+std::uint64_t backoff_ms_for_retry(std::uint32_t retry_number) {
+  const std::uint64_t shifted = retry_number >= 4
+                                    ? kBackoffCapMs
+                                    : kBackoffBaseMs << (retry_number - 1);
+  return std::min(shifted, kBackoffCapMs);
+}
 
 /// Column index of each requested event in the output feature matrix.
 std::size_t column_of(const std::vector<sim::Event>& events, sim::Event e) {
@@ -19,51 +43,151 @@ std::size_t column_of(const std::vector<sim::Event>& events, sim::Event e) {
 
 /// Rows captured for one application — the unit of parallel work. Each
 /// task owns a fresh Container/Machine; all randomness derives from the
-/// AppProfile's seed and the run index, so tasks are independent and their
-/// output does not depend on which thread (or in which order) they ran.
+/// AppProfile's seed, the run index, and the fault seed, so tasks are
+/// independent and their output does not depend on which thread (or in
+/// which order) they ran.
 struct AppCapture {
   std::vector<std::vector<double>> rows;
-  std::uint64_t runs = 0;
+  AppCaptureReport report;
 };
 
-AppCapture capture_app_multi_run(const sim::AppProfile& app,
-                                 const std::vector<sim::Event>& events,
-                                 const std::vector<std::vector<sim::Event>>& batches,
-                                 const CaptureConfig& cfg) {
-  Container container(cfg.machine, cfg.pmu);
+/// Median of the valid (finite) entries of one column; NaN if none.
+double column_median(const std::vector<std::vector<double>>& rows,
+                     std::size_t col) {
+  std::vector<double> valid;
+  valid.reserve(rows.size());
+  for (const auto& row : rows)
+    if (std::isfinite(row[col])) valid.push_back(row[col]);
+  if (valid.empty()) return kNaN;
+  std::sort(valid.begin(), valid.end());
+  const std::size_t mid = valid.size() / 2;
+  if (valid.size() % 2 == 1) return valid[mid];
+  return 0.5 * (valid[mid - 1] + valid[mid]);
+}
+
+/// Validation + imputation of one app's assembled matrix: glitched cells
+/// (counter saturation) are screened to NaN, then every NaN cell is imputed
+/// hold-last-value, else per-app column median, else 0. Every intervention
+/// is tallied in `rep`.
+void screen_and_impute(std::vector<std::vector<double>>& rows,
+                       double saturation, AppCaptureReport& rep) {
+  if (rows.empty()) return;
+  const std::size_t cols = rows.front().size();
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (auto& row : rows) {
+      if (std::isfinite(row[j]) && row[j] >= saturation) {
+        row[j] = kNaN;  // stuck/overflowed counter readout
+        ++rep.glitched_cells;
+      }
+    }
+    const double median = column_median(rows, j);
+    double last_valid = kNaN;
+    for (auto& row : rows) {
+      if (std::isfinite(row[j])) {
+        last_valid = row[j];
+        continue;
+      }
+      if (std::isfinite(last_valid))
+        row[j] = last_valid;
+      else
+        row[j] = std::isfinite(median) ? median : 0.0;
+      ++rep.imputed_cells;
+    }
+  }
+}
+
+AppCapture capture_app_multi_run(
+    const sim::AppProfile& app, const std::vector<sim::Event>& events,
+    const std::vector<std::vector<sim::Event>>& batches,
+    const CaptureConfig& cfg, const PmuConfig& pmu_cfg,
+    const FaultInjector* faults) {
+  Container container(cfg.machine, pmu_cfg, faults);
   AppCapture out;
-  // rows for this app, assembled across batches by interval index.
-  out.rows.assign(app.intervals,
-                  std::vector<double>(events.size(),
-                                      std::numeric_limits<double>::quiet_NaN()));
-  for (std::size_t b = 0; b < batches.size(); ++b) {
-    const RunTrace trace =
-        container.run(app, static_cast<std::uint32_t>(b), batches[b]);
-    HMD_INVARIANT(trace.samples.size() == app.intervals);
-    for (std::size_t i = 0; i < trace.samples.size(); ++i)
-      for (std::size_t j = 0; j < trace.events.size(); ++j)
+  AppCaptureReport& rep = out.report;
+
+  // A run attempt is usable if it kept at least this many intervals.
+  const auto min_intervals = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::ceil(cfg.min_run_fraction *
+                       static_cast<double>(app.intervals))));
+
+  std::vector<RunTrace> traces;
+  traces.reserve(batches.size());
+  for (std::size_t b = 0; b < batches.size() && !rep.quarantined; ++b) {
+    bool accepted = false;
+    for (std::uint32_t attempt = 0; attempt <= cfg.max_retries; ++attempt) {
+      if (attempt > 0) {
+        ++rep.retries;
+        rep.backoff_ms += backoff_ms_for_retry(attempt);
+      }
+      const auto run_index =
+          static_cast<std::uint32_t>(b) + attempt * kAttemptRunStride;
+      RunTrace trace;
+      try {
+        trace = container.run(app, run_index, batches[b]);
+      } catch (const RunCrashError&) {
+        ++rep.crashes;
+        continue;
+      }
+      if (trace.samples.size() < min_intervals) continue;  // too short
+      if (faults == nullptr)
+        HMD_INVARIANT(trace.samples.size() == app.intervals);
+      if (trace.truncated) ++rep.truncated_runs;
+      traces.push_back(std::move(trace));
+      accepted = true;
+      break;
+    }
+    // Bounded retries exhausted without a usable run: quarantine the app
+    // rather than fabricate data or abort the whole campaign.
+    if (!accepted) rep.quarantined = true;
+  }
+  rep.attempts = container.runs_executed();
+  if (rep.quarantined) return out;  // no rows for this app
+
+  // Unequal batch lengths (truncated runs) align on the shortest common
+  // interval: a row may only merge columns that every batch measured.
+  std::size_t aligned = app.intervals;
+  for (const auto& trace : traces)
+    aligned = std::min(aligned, trace.samples.size());
+  rep.aligned_intervals = static_cast<std::uint32_t>(aligned);
+  rep.cells = aligned * events.size();
+
+  out.rows.assign(aligned, std::vector<double>(events.size(), kNaN));
+  for (const auto& trace : traces) {
+    for (std::size_t i = 0; i < aligned; ++i) {
+      for (std::size_t j = 0; j < trace.events.size(); ++j) {
+        if (!trace.dropped.empty() && trace.dropped[i][j] != 0) {
+          ++rep.dropped_cells;  // cell lost by the collector; leave NaN
+          continue;
+        }
         out.rows[i][column_of(events, trace.events[j])] =
             static_cast<double>(trace.samples[i][j]);
+      }
+    }
+  }
+
+  if (faults != nullptr) {
+    screen_and_impute(out.rows, static_cast<double>(Pmu(pmu_cfg).saturation_value()),
+                      rep);
   }
   for (const auto& row : out.rows)
     for (double v : row)
-      HMD_INVARIANT(v == v);  // every column filled by some batch
-  out.runs = container.runs_executed();
+      HMD_INVARIANT(v == v);  // every column filled (or imputed)
   return out;
 }
 
 AppCapture capture_app_multiplex(const sim::AppProfile& app,
                                  const std::vector<sim::Event>& events,
                                  const std::vector<std::vector<sim::Event>>& batches,
-                                 const CaptureConfig& cfg) {
+                                 const CaptureConfig& cfg,
+                                 const PmuConfig& pmu_cfg) {
   sim::Machine machine(cfg.machine);
-  Pmu pmu(cfg.pmu);
+  Pmu pmu(pmu_cfg);
   machine.start_run(app, /*run_index=*/0);
 
   AppCapture out;
-  out.runs = 1;
-  std::vector<double> last_seen(events.size(),
-                                std::numeric_limits<double>::quiet_NaN());
+  out.report.attempts = 1;
+  std::vector<double> last_seen(events.size(), kNaN);
   std::size_t interval = 0;
   while (machine.running()) {
     const auto& batch = batches[interval % batches.size()];
@@ -82,6 +206,8 @@ AppCapture capture_app_multiplex(const sim::AppProfile& app,
     if (complete) out.rows.push_back(last_seen);
     ++interval;
   }
+  out.report.aligned_intervals = static_cast<std::uint32_t>(out.rows.size());
+  out.report.cells = out.rows.size() * events.size();
   return out;
 }
 
@@ -92,7 +218,7 @@ AppCapture capture_app_oracle(const sim::AppProfile& app,
   machine.start_run(app, /*run_index=*/0);
 
   AppCapture out;
-  out.runs = 1;
+  out.report.attempts = 1;
   while (machine.running()) {
     const sim::EventCounts counts = machine.next_interval();
     std::vector<double> row(events.size());
@@ -100,6 +226,8 @@ AppCapture capture_app_oracle(const sim::AppProfile& app,
       row[j] = static_cast<double>(counts[events[j]]);
     out.rows.push_back(std::move(row));
   }
+  out.report.aligned_intervals = static_cast<std::uint32_t>(out.rows.size());
+  out.report.cells = out.rows.size() * events.size();
   return out;
 }
 
@@ -120,7 +248,8 @@ void capture_parallel(
       out.labels.push_back(app.is_malware ? 1 : 0);
       out.row_app.push_back(a);
     }
-    out.total_runs += per_app[a].runs;
+    out.total_runs += per_app[a].report.attempts;
+    out.report.apps.push_back(std::move(per_app[a].report));
   }
 }
 
@@ -135,40 +264,123 @@ std::string_view capture_protocol_name(CaptureProtocol p) {
   throw PreconditionError("unknown capture protocol");
 }
 
+std::uint64_t CaptureReport::total_retries() const {
+  std::uint64_t n = 0;
+  for (const auto& app : apps) n += app.retries;
+  return n;
+}
+
+std::uint64_t CaptureReport::total_crashes() const {
+  std::uint64_t n = 0;
+  for (const auto& app : apps) n += app.crashes;
+  return n;
+}
+
+std::uint64_t CaptureReport::total_backoff_ms() const {
+  std::uint64_t n = 0;
+  for (const auto& app : apps) n += app.backoff_ms;
+  return n;
+}
+
+std::size_t CaptureReport::quarantined_apps() const {
+  std::size_t n = 0;
+  for (const auto& app : apps) n += app.quarantined ? 1 : 0;
+  return n;
+}
+
+std::size_t CaptureReport::total_imputed_cells() const {
+  std::size_t n = 0;
+  for (const auto& app : apps) n += app.imputed_cells;
+  return n;
+}
+
+std::size_t CaptureReport::total_cells() const {
+  std::size_t n = 0;
+  for (const auto& app : apps) n += app.cells;
+  return n;
+}
+
+double CaptureReport::quarantine_fraction() const {
+  if (apps.empty()) return 0.0;
+  return static_cast<double>(quarantined_apps()) /
+         static_cast<double>(apps.size());
+}
+
+double CaptureReport::imputed_fraction() const {
+  const std::size_t cells = total_cells();
+  if (cells == 0) return 0.0;
+  return static_cast<double>(total_imputed_cells()) /
+         static_cast<double>(cells);
+}
+
 Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
                        const std::vector<sim::Event>& events,
                        const CaptureConfig& cfg) {
   HMD_REQUIRE(!corpus.empty());
   HMD_REQUIRE(!events.empty());
+  HMD_REQUIRE_MSG(cfg.min_run_fraction >= 0.0 && cfg.min_run_fraction <= 1.0,
+                  "min_run_fraction must be in [0, 1]");
+  // The fault model perturbs Container::run, which only the paper's
+  // multi-run protocol uses; the static unavailable-event degradation
+  // below applies to every protocol.
+  HMD_REQUIRE_MSG(!cfg.faults.any() ||
+                      cfg.protocol == CaptureProtocol::kMultiRun,
+                  "stochastic fault injection models the multi-run protocol");
 
+  // Graceful degradation: events the PMU cannot count are dropped from the
+  // feature set up front and recorded, instead of failing the campaign.
+  PmuConfig pmu_cfg = cfg.pmu;
+  pmu_cfg.unavailable_events.insert(pmu_cfg.unavailable_events.end(),
+                                    cfg.faults.unavailable_events.begin(),
+                                    cfg.faults.unavailable_events.end());
+  const Pmu probe(pmu_cfg);
+  std::vector<sim::Event> available;
+  available.reserve(events.size());
   Capture out;
-  out.feature_names.reserve(events.size());
-  for (sim::Event e : events)
+  for (sim::Event e : events) {
+    if (probe.event_available(e))
+      available.push_back(e);
+    else
+      out.report.degraded_events.emplace_back(sim::event_name(e));
+  }
+  HMD_REQUIRE_MSG(!available.empty(),
+                  "no requested event is available on this PMU");
+
+  out.feature_names.reserve(available.size());
+  for (sim::Event e : available)
     out.feature_names.emplace_back(sim::event_name(e));
   for (const auto& app : corpus) {
     out.app_names.push_back(app.name);
     out.app_labels.push_back(app.is_malware ? 1 : 0);
   }
 
+  // Zero-cost abstraction: without stochastic faults no injector exists,
+  // and the capture path (incl. validation/imputation) is untouched.
+  std::optional<FaultInjector> injector;
+  if (cfg.faults.any()) injector.emplace(cfg.faults);
+  const FaultInjector* faults = injector ? &*injector : nullptr;
+
   switch (cfg.protocol) {
     case CaptureProtocol::kMultiRun: {
       const auto batches =
-          schedule_batches(events, Pmu(cfg.pmu).hardware_slots());
+          schedule_batches(available, probe.hardware_slots());
       capture_parallel(
           corpus, cfg,
           [&](const sim::AppProfile& app) {
-            return capture_app_multi_run(app, events, batches, cfg);
+            return capture_app_multi_run(app, available, batches, cfg,
+                                         pmu_cfg, faults);
           },
           out);
       break;
     }
     case CaptureProtocol::kMultiplex: {
       const auto batches =
-          schedule_batches(events, cfg.pmu.programmable_counters);
+          schedule_batches(available, pmu_cfg.programmable_counters);
       capture_parallel(
           corpus, cfg,
           [&](const sim::AppProfile& app) {
-            return capture_app_multiplex(app, events, batches, cfg);
+            return capture_app_multiplex(app, available, batches, cfg,
+                                         pmu_cfg);
           },
           out);
       break;
@@ -177,11 +389,20 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
       capture_parallel(
           corpus, cfg,
           [&](const sim::AppProfile& app) {
-            return capture_app_oracle(app, events, cfg);
+            return capture_app_oracle(app, available, cfg);
           },
           out);
       break;
   }
+
+  // An empty multiplex capture (warm-up longer than the app) predates the
+  // fault layer and stays legal; emptiness *caused by quarantine* is fatal.
+  if (out.rows.empty() && out.report.quarantined_apps() > 0)
+    throw CaptureError(
+        "capture campaign produced no usable rows (all " +
+        std::to_string(out.report.quarantined_apps()) +
+        " applications quarantined after retries; lower the fault rates or "
+        "raise max_retries)");
   return out;
 }
 

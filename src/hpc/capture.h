@@ -18,13 +18,25 @@
 //                  stale — used by the counter-protocol ablation bench.
 //  * kOracle     — one execution with an imaginary PMU wide enough for all
 //                  events at once; the upper bound no real Nehalem has.
+//
+// Fault tolerance (multi-run protocol): with a FaultConfig attached, runs
+// that crash are retried a bounded number of times (with capped exponential
+// backoff *accounted*, never slept — wall-clock sleeps would break the
+// bit-determinism contract) and apps whose runs never succeed are
+// quarantined; truncated runs shorten the app's matrix to the shortest
+// common interval across its batches; dropped and glitched cells are
+// screened (NaN / counter-saturation) and imputed (hold-last-value, else
+// per-app median). A CaptureReport records every intervention so nothing
+// degrades silently.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "hpc/container.h"
+#include "hpc/faults.h"
 #include "sim/workloads.h"
 
 namespace hmd::hpc {
@@ -32,6 +44,13 @@ namespace hmd::hpc {
 enum class CaptureProtocol { kMultiRun, kMultiplex, kOracle };
 
 std::string_view capture_protocol_name(CaptureProtocol p);
+
+/// Thrown when a capture campaign cannot produce usable data at all
+/// (e.g. every application ended up quarantined under a heavy fault load).
+class CaptureError : public std::runtime_error {
+ public:
+  explicit CaptureError(const std::string& what) : std::runtime_error(what) {}
+};
 
 struct CaptureConfig {
   sim::MachineConfig machine{};
@@ -42,6 +61,52 @@ struct CaptureConfig {
   /// seeded from its own AppProfile::seed and assembled in corpus order, so
   /// the capture is bit-identical for any thread count.
   std::size_t threads = 0;
+  /// Fault model. All-zero rates (the default) leave the capture path
+  /// byte-identical to a build without the fault layer; non-zero rates
+  /// require the multi-run protocol (the only one the paper deploys).
+  FaultConfig faults{};
+  /// Retries per failed run attempt (crash, or truncation below
+  /// min_run_fraction) before the application is quarantined.
+  std::uint32_t max_retries = 2;
+  /// A truncated run shorter than this fraction of the app's intervals is
+  /// treated as failed (retried, then quarantined); longer truncations are
+  /// accepted and handled by shortest-common-interval alignment.
+  double min_run_fraction = 0.5;
+};
+
+/// Per-application fault-handling ledger for one capture campaign.
+struct AppCaptureReport {
+  std::uint64_t attempts = 0;        ///< container runs, incl. retries
+  std::uint32_t retries = 0;         ///< attempts beyond the first per batch
+  std::uint32_t crashes = 0;         ///< attempts that crashed
+  std::uint32_t truncated_runs = 0;  ///< accepted runs shorter than the app
+  std::uint32_t aligned_intervals = 0;  ///< rows kept after alignment
+  std::uint64_t backoff_ms = 0;      ///< retry backoff accounted (not slept)
+  std::size_t cells = 0;             ///< matrix cells kept for this app
+  std::size_t dropped_cells = 0;     ///< cells lost by the collector
+  std::size_t glitched_cells = 0;    ///< cells caught by the saturation screen
+  std::size_t imputed_cells = 0;     ///< dropped + glitched, after imputation
+  bool quarantined = false;          ///< app contributed no rows
+};
+
+/// Campaign-wide fault-handling summary; apps[] is parallel to
+/// Capture::app_names. All-zero for a fault-free capture.
+struct CaptureReport {
+  std::vector<AppCaptureReport> apps;
+  /// Requested events unavailable on this PMU, dropped from the feature
+  /// set (graceful degradation — see PmuConfig::unavailable_events).
+  std::vector<std::string> degraded_events;
+
+  std::uint64_t total_retries() const;
+  std::uint64_t total_crashes() const;
+  std::uint64_t total_backoff_ms() const;
+  std::size_t quarantined_apps() const;
+  std::size_t total_imputed_cells() const;
+  std::size_t total_cells() const;
+  /// Fraction of apps quarantined / of kept cells imputed — the lint
+  /// budgets hmd_lint enforces over a faulted capture.
+  double quarantine_fraction() const;
+  double imputed_fraction() const;
 };
 
 /// A labelled per-interval feature matrix over a corpus of applications.
@@ -52,7 +117,11 @@ struct Capture {
   std::vector<std::size_t> row_app;          ///< per row: corpus app index
   std::vector<std::string> app_names;        ///< per app
   std::vector<int> app_labels;               ///< per app: 1 = malware
-  std::uint64_t total_runs = 0;              ///< protocol cost
+  /// Protocol cost: every container run attempt, *including* retries of
+  /// crashed or truncated runs — always equal to the sum of
+  /// report.apps[*].attempts, so the cost ablations stay honest.
+  std::uint64_t total_runs = 0;
+  CaptureReport report;                      ///< fault-handling ledger
 
   std::size_t num_rows() const { return rows.size(); }
   std::size_t num_features() const { return feature_names.size(); }

@@ -16,25 +16,44 @@
 
 namespace hmd::hpc {
 
+class FaultInjector;
+
 /// Per-interval readout of the programmed counters for one run.
 struct RunTrace {
   std::vector<sim::Event> events;  ///< programmed events, column order
   /// samples[i][j] = count of events[j] during 10 ms interval i.
   std::vector<std::vector<std::uint64_t>> samples;
+  /// Parallel mask of lost cells (perf read failure / ring-buffer
+  /// overflow): dropped[i][j] != 0 means samples[i][j] is meaningless.
+  /// Empty — the common case — when no fault injector is attached.
+  std::vector<std::vector<std::uint8_t>> dropped;
+  /// True when the run ended before the app's full interval count
+  /// (injected truncation); samples then holds only the completed prefix.
+  bool truncated = false;
 };
 
 class Container {
  public:
-  explicit Container(sim::MachineConfig machine_cfg = {}, PmuConfig pmu_cfg = {})
-      : machine_(machine_cfg), pmu_(pmu_cfg) {}
+  /// `faults`, when non-null, perturbs every run deterministically (seeded
+  /// per app seed + run index); it must outlive the Container. Null — the
+  /// default — leaves the capture path byte-identical to a fault-free
+  /// build (zero-cost abstraction).
+  explicit Container(sim::MachineConfig machine_cfg = {},
+                     PmuConfig pmu_cfg = {},
+                     const FaultInjector* faults = nullptr)
+      : machine_(machine_cfg), pmu_(pmu_cfg), faults_(faults) {}
 
   /// Execute `app` from scratch with the PMU programmed to `events`,
   /// sampling every interval. `run_index` selects the batch-specific run
   /// randomness (the paper re-executes the app once per batch).
+  /// With a fault injector attached this may throw RunCrashError — the
+  /// crashed attempt still counts in runs_executed(), because the paper's
+  /// protocol-cost accounting must include work that was thrown away.
   RunTrace run(const sim::AppProfile& app, std::uint32_t run_index,
                const std::vector<sim::Event>& events);
 
-  /// Total runs executed (for protocol-cost accounting in the ablations).
+  /// Total run attempts executed, including crashed and truncated ones
+  /// (for honest protocol-cost accounting in the ablations).
   std::uint64_t runs_executed() const { return runs_; }
 
   const Pmu& pmu() const { return pmu_; }
@@ -42,6 +61,7 @@ class Container {
  private:
   sim::Machine machine_;
   Pmu pmu_;
+  const FaultInjector* faults_ = nullptr;
   std::uint64_t runs_ = 0;
 };
 

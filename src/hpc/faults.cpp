@@ -1,0 +1,119 @@
+#include "hpc/faults.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace hmd::hpc {
+namespace {
+
+void require_rate(double rate, const char* what) {
+  HMD_REQUIRE_MSG(rate >= 0.0 && rate <= 1.0,
+                  std::string(what) + " must be a probability in [0, 1]");
+}
+
+}  // namespace
+
+FaultConfig fault_profile(FaultProfile profile, std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  switch (profile) {
+    case FaultProfile::kNone:
+      return cfg;
+    case FaultProfile::kLight:
+      cfg.sample_drop_rate = 0.02;
+      cfg.run_crash_rate = 0.02;
+      cfg.counter_glitch_rate = 0.01;
+      cfg.truncate_rate = 0.02;
+      return cfg;
+    case FaultProfile::kHeavy:
+      cfg.sample_drop_rate = 0.08;
+      cfg.run_crash_rate = 0.08;
+      cfg.counter_glitch_rate = 0.04;
+      cfg.truncate_rate = 0.08;
+      // Real perf deployments routinely lack off-core / uncore events.
+      cfg.unavailable_events = {sim::Event::kBusCycles,
+                                sim::Event::kNodePrefetchMisses};
+      return cfg;
+  }
+  throw PreconditionError("unknown fault profile");
+}
+
+std::string_view fault_profile_name(FaultProfile profile) {
+  switch (profile) {
+    case FaultProfile::kNone: return "none";
+    case FaultProfile::kLight: return "light";
+    case FaultProfile::kHeavy: return "heavy";
+  }
+  throw PreconditionError("unknown fault profile");
+}
+
+std::optional<FaultProfile> fault_profile_from_name(std::string_view name) {
+  if (name == "none") return FaultProfile::kNone;
+  if (name == "light") return FaultProfile::kLight;
+  if (name == "heavy") return FaultProfile::kHeavy;
+  return std::nullopt;
+}
+
+std::string describe_faults(const FaultConfig& cfg) {
+  if (!cfg.any() && cfg.unavailable_events.empty()) return "none";
+  std::ostringstream os;
+  os << "drop=" << 100.0 * cfg.sample_drop_rate << "%"
+     << " crash=" << 100.0 * cfg.run_crash_rate << "%"
+     << " glitch=" << 100.0 * cfg.counter_glitch_rate << "%"
+     << " trunc=" << 100.0 * cfg.truncate_rate << "%";
+  if (!cfg.unavailable_events.empty())
+    os << " unavailable=" << cfg.unavailable_events.size();
+  os << " seed=" << cfg.seed;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(std::move(cfg)) {
+  require_rate(cfg_.sample_drop_rate, "sample_drop_rate");
+  require_rate(cfg_.run_crash_rate, "run_crash_rate");
+  require_rate(cfg_.counter_glitch_rate, "counter_glitch_rate");
+  require_rate(cfg_.truncate_rate, "truncate_rate");
+}
+
+Rng FaultInjector::run_rng(std::uint64_t app_seed,
+                           std::uint32_t run_index) const {
+  std::uint64_t s = cfg_.seed ^ 0xFA017C0DEULL;
+  s = mix64(s) ^ mix64(app_seed);
+  s = mix64(s) ^ mix64(0x9E37ULL + run_index);
+  return Rng(s);
+}
+
+FaultInjector::RunPlan FaultInjector::plan_run(std::uint64_t app_seed,
+                                               std::uint32_t run_index,
+                                               std::uint32_t intervals) const {
+  HMD_REQUIRE(intervals >= 1);
+  RunPlan plan;
+  Rng rng = run_rng(app_seed, run_index).fork(1);
+  plan.crash = rng.chance(cfg_.run_crash_rate);
+  if (!plan.crash && rng.chance(cfg_.truncate_rate)) {
+    // Uniform truncation point in [1, intervals]; a draw of `intervals`
+    // models a kill that lands after the last sample (a no-op).
+    plan.keep_intervals = 1 + static_cast<std::uint32_t>(rng.below(intervals));
+  }
+  return plan;
+}
+
+void FaultInjector::perturb(RunTrace& trace, std::uint64_t app_seed,
+                            std::uint32_t run_index,
+                            std::uint64_t glitch_value) const {
+  if (cfg_.sample_drop_rate <= 0.0 && cfg_.counter_glitch_rate <= 0.0) return;
+  Rng rng = run_rng(app_seed, run_index).fork(2);
+  trace.dropped.assign(trace.samples.size(),
+                       std::vector<std::uint8_t>(trace.events.size(), 0));
+  for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+    for (std::size_t j = 0; j < trace.events.size(); ++j) {
+      if (rng.chance(cfg_.sample_drop_rate)) {
+        trace.dropped[i][j] = 1;
+      } else if (rng.chance(cfg_.counter_glitch_rate)) {
+        trace.samples[i][j] = glitch_value;  // silent corruption
+      }
+    }
+  }
+}
+
+}  // namespace hmd::hpc

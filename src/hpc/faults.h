@@ -1,0 +1,113 @@
+// Deterministic fault injection for the HPC capture pipeline.
+//
+// A real perf deployment never sees the clean traces the paper's offline
+// study assumes: ring-buffer overflows drop samples, runs crash or get
+// killed mid-capture, counter reads occasionally glitch (saturated or
+// corrupted registers), and some events are simply unavailable on a given
+// core. FaultInjector models all of these as *seeded, reproducible*
+// perturbations of Container::run: every decision derives only from
+// (fault seed, application seed, run index), so a faulted capture is
+// bit-identical for any worker thread count — the same determinism policy
+// as the parallel layer (DESIGN §7).
+//
+// Fault taxonomy:
+//   * run crash     — the run aborts before producing a trace
+//                     (Container::run throws RunCrashError; the attempt is
+//                     still counted in runs_executed());
+//   * truncation    — the run ends early after a deterministic number of
+//                     intervals (the app was killed / the collector died);
+//   * sample drop   — one (interval, counter) cell is lost (ring-buffer
+//                     overflow); visible to the collector via the
+//                     RunTrace::dropped mask, exactly like a failed read;
+//   * counter glitch— one cell is silently corrupted to the counter's
+//                     saturation value; NOT flagged — the capture layer's
+//                     validation screens must catch it;
+//   * unavailable   — events the PMU of this core cannot count at all
+//                     (handled by PmuConfig::unavailable_events + the
+//                     capture layer's graceful degradation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hpc/container.h"
+#include "sim/events.h"
+#include "support/rng.h"
+
+namespace hmd::hpc {
+
+/// Fault model parameters. All rates are per-trial probabilities in [0, 1].
+struct FaultConfig {
+  double sample_drop_rate = 0.0;     ///< P(a sampled cell is dropped)
+  double run_crash_rate = 0.0;       ///< P(a run attempt crashes)
+  double counter_glitch_rate = 0.0;  ///< P(a cell is silently corrupted)
+  double truncate_rate = 0.0;        ///< P(a run ends early)
+  /// Events this machine's PMU cannot count (merged into
+  /// PmuConfig::unavailable_events by the capture layer).
+  std::vector<sim::Event> unavailable_events{};
+  std::uint64_t seed = 0;  ///< fault stream seed, independent of the corpus
+
+  /// True if any stochastic fault rate is non-zero (unavailable_events are
+  /// a static capability, not a stochastic fault, and are excluded).
+  bool any() const {
+    return sample_drop_rate > 0.0 || run_crash_rate > 0.0 ||
+           counter_glitch_rate > 0.0 || truncate_rate > 0.0;
+  }
+};
+
+/// Named fault profiles shared by the benches (--faults none|light|heavy).
+enum class FaultProfile { kNone, kLight, kHeavy };
+
+FaultConfig fault_profile(FaultProfile profile, std::uint64_t seed = 0);
+std::string_view fault_profile_name(FaultProfile profile);
+std::optional<FaultProfile> fault_profile_from_name(std::string_view name);
+
+/// One-line human summary, e.g. "drop=2% crash=2% glitch=1% trunc=2%
+/// unavailable=1 seed=3"; "none" when nothing is configured.
+std::string describe_faults(const FaultConfig& cfg);
+
+/// Thrown by Container::run when the injector decides this attempt crashes.
+class RunCrashError : public std::runtime_error {
+ public:
+  explicit RunCrashError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Seeded source of per-run fault decisions and per-cell perturbations.
+class FaultInjector {
+ public:
+  static constexpr std::uint32_t kNoTruncation = 0xFFFFFFFFu;
+
+  explicit FaultInjector(FaultConfig cfg);
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Pre-run decisions for one (app, run_index) attempt.
+  struct RunPlan {
+    bool crash = false;
+    std::uint32_t keep_intervals = kNoTruncation;  ///< truncation point
+  };
+
+  RunPlan plan_run(std::uint64_t app_seed, std::uint32_t run_index,
+                   std::uint32_t intervals) const;
+
+  /// Perturb a completed trace in place: dropped cells are flagged in
+  /// trace.dropped (their values are meaningless), glitched cells are
+  /// silently overwritten with `glitch_value` (the counter saturation
+  /// value — the classic stuck-counter symptom a validator can screen).
+  void perturb(RunTrace& trace, std::uint64_t app_seed,
+               std::uint32_t run_index, std::uint64_t glitch_value) const;
+
+ private:
+  /// Independent per-run randomness: a pure function of the fault seed,
+  /// the application seed, and the run index — never of thread schedule.
+  Rng run_rng(std::uint64_t app_seed, std::uint32_t run_index) const;
+
+  FaultConfig cfg_;
+};
+
+}  // namespace hmd::hpc

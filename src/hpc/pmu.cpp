@@ -26,14 +26,28 @@ void Pmu::program(const std::vector<sim::Event>& events) {
   HMD_REQUIRE_MSG(
       hardware_event_count(events) <= cfg_.programmable_counters,
       "more hardware events than programmable counter registers");
+  for (sim::Event e : events)
+    HMD_REQUIRE_MSG(event_available(e),
+                    "event not supported by this PMU: " +
+                        std::string(sim::event_name(e)));
   programmed_ = events;
   value_.assign(programmed_.size(), 0);
 }
 
+bool Pmu::event_available(sim::Event e) const {
+  return std::find(cfg_.unavailable_events.begin(),
+                   cfg_.unavailable_events.end(),
+                   e) == cfg_.unavailable_events.end();
+}
+
+std::uint64_t Pmu::saturation_value() const {
+  return cfg_.counter_bits >= 64
+             ? ~0ULL
+             : (std::uint64_t{1} << cfg_.counter_bits) - 1;
+}
+
 void Pmu::observe(const sim::EventCounts& counts) {
-  const std::uint64_t cap = cfg_.counter_bits >= 64
-                                ? ~0ULL
-                                : (std::uint64_t{1} << cfg_.counter_bits) - 1;
+  const std::uint64_t cap = saturation_value();
   for (std::size_t i = 0; i < programmed_.size(); ++i) {
     const std::uint64_t delta = counts[programmed_[i]];
     // Saturating accumulate: clamp whenever the headroom is too small.

@@ -29,6 +29,11 @@ struct PmuConfig {
   /// counters are 48 bits — effectively unsaturable at 10 ms; the
   /// counter-width ablation shrinks this to study cheap-PMU designs.
   std::uint32_t counter_bits = 48;
+  /// Events this PMU cannot count at all (perf returns <not supported> for
+  /// them on real machines — off-core and uncore events are the usual
+  /// casualties). Programming one throws; the capture layer and the online
+  /// detector degrade gracefully to the available subset instead.
+  std::vector<sim::Event> unavailable_events{};
 };
 
 /// A programmable-counter file that can observe a sim::EventCounts stream.
@@ -38,8 +43,12 @@ class Pmu {
 
   /// Program the counter registers. Hardware events in `events` must fit in
   /// the available registers (software events are free). Throws
-  /// PreconditionError on over-subscription or duplicates.
+  /// PreconditionError on over-subscription, duplicates, or events this
+  /// PMU does not support (see PmuConfig::unavailable_events).
   void program(const std::vector<sim::Event>& events);
+
+  /// False for events listed in PmuConfig::unavailable_events.
+  bool event_available(sim::Event e) const;
 
   /// Events currently programmed (hardware + software), in program order.
   const std::vector<sim::Event>& programmed() const { return programmed_; }
@@ -58,6 +67,11 @@ class Pmu {
   void clear();
 
   std::uint32_t hardware_slots() const { return cfg_.programmable_counters; }
+
+  /// The clamp value of a counter register: 2^counter_bits - 1. A readout
+  /// at this value is indistinguishable from a stuck/overflowed counter,
+  /// which is exactly the screen the capture validator applies.
+  std::uint64_t saturation_value() const;
 
   /// Number of hardware (register-occupying) events among `events`.
   static std::uint32_t hardware_event_count(

@@ -14,8 +14,16 @@
 // Prints one pass/fail table and exits non-zero if any cell fails, so the
 // tool slots directly into CI between training and synthesis/deployment.
 //
+// When the capture campaign runs with fault injection (--faults), the
+// capture health itself is a lint subject: a quarantine or imputation rate
+// above budget means the dataset under every downstream verdict is no
+// longer trustworthy, so the tool fails before any model-level finding.
+//
 // Flags: --quick (reduced corpus), --seed N, --fraction-bits B,
 //        --max-mismatch R (differential tolerance, default 0.02),
+//        --faults P / --fault-seed N (capture fault profile, bench_util),
+//        --max-quarantine R (quarantined-app budget, default 0.05),
+//        --max-impute R (imputed-cell budget, default 0.10),
 //        --threads N (workers for capture + grid analysis; default
 //        HMD_THREADS env, else hardware_concurrency — verdicts are
 //        identical for any thread count).
@@ -38,6 +46,8 @@ struct LintArgs {
   hmd::core::ExperimentConfig config;
   int fraction_bits = 8;
   double max_mismatch = 0.02;
+  double max_quarantine = 0.05;
+  double max_impute = 0.10;
 };
 
 LintArgs parse_args(int argc, char** argv) {
@@ -48,8 +58,32 @@ LintArgs parse_args(int argc, char** argv) {
       args.fraction_bits = static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
     if (std::strcmp(argv[i], "--max-mismatch") == 0 && i + 1 < argc)
       args.max_mismatch = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-quarantine") == 0 && i + 1 < argc)
+      args.max_quarantine = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-impute") == 0 && i + 1 < argc)
+      args.max_impute = std::strtod(argv[i + 1], nullptr);
   }
   return args;
+}
+
+/// Capture-health lint: the dataset every model verdict rests on must be
+/// within the fault budgets. Returns the number of budget violations
+/// (each printed to stderr).
+std::size_t lint_capture(const hmd::hpc::CaptureReport& report,
+                         const LintArgs& args) {
+  std::size_t violations = 0;
+  const auto over = [&](const char* what, double value, double budget) {
+    std::fprintf(stderr,
+                 "[hmd_lint] capture budget exceeded: %s %.2f%% > %.2f%%\n",
+                 what, 100.0 * value, 100.0 * budget);
+    ++violations;
+  };
+  if (report.quarantine_fraction() > args.max_quarantine)
+    over("quarantined apps", report.quarantine_fraction(),
+         args.max_quarantine);
+  if (report.imputed_fraction() > args.max_impute)
+    over("imputed cells", report.imputed_fraction(), args.max_impute);
+  return violations;
 }
 
 struct CellVerdict {
@@ -132,6 +166,9 @@ int main(int argc, char** argv) {
   const LintArgs args = parse_args(argc, argv);
   const auto ctx = benchutil::prepare(args.config, "hmd_lint");
 
+  const std::size_t capture_violations =
+      lint_capture(ctx.capture.report, args);
+
   // The full 96-model grid, analysed concurrently (one task per cell);
   // verdicts come back in grid order, so the report is deterministic.
   const auto cells = core::full_grid();
@@ -171,8 +208,22 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
-  std::cout << (failed_cells == 0 ? "OK" : "FAILED") << ": "
+  const hpc::CaptureReport& report = ctx.capture.report;
+  std::cout << "capture health: "
+            << report.quarantined_apps() << "/" << report.apps.size()
+            << " apps quarantined ("
+            << TextTable::num(100.0 * report.quarantine_fraction(), 2)
+            << "% vs " << TextTable::num(100.0 * args.max_quarantine, 2)
+            << "% budget), " << report.total_imputed_cells() << "/"
+            << report.total_cells() << " cells imputed ("
+            << TextTable::num(100.0 * report.imputed_fraction(), 2)
+            << "% vs " << TextTable::num(100.0 * args.max_impute, 2)
+            << "% budget)"
+            << (capture_violations == 0 ? "" : " — OVER BUDGET") << "\n";
+  const bool ok = failed_cells == 0 && capture_violations == 0;
+  std::cout << (ok ? "OK" : "FAILED") << ": "
             << total_cells - failed_cells << "/" << total_cells
-            << " grid cells clean\n";
-  return failed_cells == 0 ? 0 : 1;
+            << " grid cells clean, " << capture_violations
+            << " capture budget violations\n";
+  return ok ? 0 : 1;
 }
