@@ -34,7 +34,30 @@ cmake --build build-ci-release -j "${JOBS}"
 (cd build-ci-release && ctest --output-on-failure -j "${JOBS}")
 
 echo "=== [1b] hmd_lint: analyzers over the experiment grid (quick) ==="
-./build-ci-release/tools/hmd_lint --quick
+./build-ci-release/tools/hmd_lint --quick --max-train-ms 5000
+
+echo "=== [1c] micro_ml: training benchmark, legacy vs columnar (quick) ==="
+(cd build-ci-release && ./bench/micro_ml --quick --reps 1)
+# The benchmark exits non-zero if the two dataset paths disagree; also
+# require a well-formed report with the speedup field present.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("build-ci-release/BENCH_train.json") as f:
+    report = json.load(f)
+assert report["bench"] == "micro_ml", report
+assert report["all_scores_match"] is True, "legacy/columnar scores diverge"
+assert len(report["cells"]) == 24, f"expected 24 cells, got {len(report['cells'])}"
+assert report["tree_ensemble_speedup"] > 0, report["tree_ensemble_speedup"]
+print(f"BENCH_train.json OK: tree-ensemble speedup "
+      f"{report['tree_ensemble_speedup']:.2f}x")
+EOF
+else
+  grep -q '"bench": "micro_ml"' build-ci-release/BENCH_train.json
+  grep -q '"all_scores_match": true' build-ci-release/BENCH_train.json
+  grep -q '"tree_ensemble_speedup"' build-ci-release/BENCH_train.json
+  echo "BENCH_train.json OK (grep fallback)"
+fi
 
 echo "=== [2/4] Debug + HMD_SANITIZE=address;undefined ==="
 cmake -B build-ci-asan -S . \

@@ -21,13 +21,19 @@ const ml::Split& ExperimentContext::projected_split(std::size_t hpcs) const {
   HMD_REQUIRE(hpcs >= 1);
   return projections->get(hpcs, [&] {
     const auto features = top_features(hpcs);
-    return ml::Split{split.train.select_features(features),
-                     split.test.select_features(features)};
+    ml::Split projected{split.train.select_features(features),
+                        split.test.select_features(features)};
+    // Build the per-feature sort cache while the projection is warmed, so
+    // every grid cell sharing this projection trains against ready-made
+    // presorted orders instead of racing to build them lazily.
+    projected.train.warm_presort_cache();
+    return projected;
   });
 }
 
 ml::Dataset to_dataset(const hpc::Capture& capture) {
   ml::Dataset data(capture.feature_names);
+  data.reserve(capture.num_rows());
   for (std::size_t i = 0; i < capture.num_rows(); ++i)
     data.add_row(capture.rows[i], capture.labels[i], 1.0,
                  capture.row_app[i]);

@@ -187,6 +187,7 @@ AppCapture capture_app_multiplex(const sim::AppProfile& app,
 
   AppCapture out;
   out.report.attempts = 1;
+  out.rows.reserve(app.intervals);
   std::vector<double> last_seen(events.size(), kNaN);
   std::size_t interval = 0;
   while (machine.running()) {
@@ -219,6 +220,7 @@ AppCapture capture_app_oracle(const sim::AppProfile& app,
 
   AppCapture out;
   out.report.attempts = 1;
+  out.rows.reserve(app.intervals);
   while (machine.running()) {
     const sim::EventCounts counts = machine.next_interval();
     std::vector<double> row(events.size());
@@ -241,6 +243,12 @@ void capture_parallel(
   auto per_app = pool.parallel_map(
       corpus.size(),
       [&](std::size_t a) { return capture_app(corpus[a]); });
+  std::size_t total_rows = 0;
+  for (const auto& cap : per_app) total_rows += cap.rows.size();
+  out.rows.reserve(total_rows);
+  out.labels.reserve(total_rows);
+  out.row_app.reserve(total_rows);
+  out.report.apps.reserve(corpus.size());
   for (std::size_t a = 0; a < corpus.size(); ++a) {
     const sim::AppProfile& app = corpus[a];
     for (auto& row : per_app[a].rows) {

@@ -66,12 +66,20 @@ void AdaBoostM1::train(const Dataset& data) {
     members_.push_back(std::move(model));
     alpha_.push_back(std::log(1.0 / beta));
 
-    // Reweight: correctly classified instances shrink by beta.
+    // Reweight: correctly classified instances shrink by beta. The
+    // renormalisation (total -> num_rows) is folded into the same pass
+    // instead of a separate normalize_weights() walk; the accumulation
+    // order and scale factor match the two-pass form bit for bit.
     std::vector<double> w(working.num_rows());
-    for (std::size_t i = 0; i < working.num_rows(); ++i)
+    double new_total = 0.0;
+    for (std::size_t i = 0; i < working.num_rows(); ++i) {
       w[i] = working.weight(i) * (correct[i] ? beta : 1.0);
+      new_total += w[i];
+    }
+    HMD_INVARIANT(new_total > 0.0);
+    const double scale = static_cast<double>(working.num_rows()) / new_total;
+    for (double& wi : w) wi *= scale;
     working.set_weights(std::move(w));
-    working.normalize_weights();
   }
   HMD_INVARIANT(!members_.empty());
   trained_ = true;

@@ -1,35 +1,160 @@
 #include "ml/dataset.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
 #include <set>
 
 #include "support/check.h"
 
 namespace hmd::ml {
 
+namespace {
+
+// -1 = unresolved (read HMD_LEGACY_DATASET on first use), else DatasetMode.
+std::atomic<int> g_dataset_mode{-1};
+
+}  // namespace
+
+DatasetMode dataset_mode() {
+  int mode = g_dataset_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    const char* env = std::getenv("HMD_LEGACY_DATASET");
+    mode = (env != nullptr && env[0] == '1')
+               ? static_cast<int>(DatasetMode::kLegacy)
+               : static_cast<int>(DatasetMode::kColumnar);
+    g_dataset_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<DatasetMode>(mode);
+}
+
+void set_dataset_mode(DatasetMode mode) {
+  g_dataset_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void DatasetStorage::ensure_runs() {
+  std::call_once(runs_once, [this] {
+    runs.resize(columns.size());
+    std::vector<std::uint32_t> order(num_rows);
+    for (std::size_t f = 0; f < columns.size(); ++f) {
+      const std::vector<double>& col = columns[f];
+      std::iota(order.begin(), order.end(), 0u);
+      // stable: equal values keep ascending storage-row order, so run
+      // membership is a pure function of the value.
+      std::stable_sort(order.begin(), order.end(),
+                       [&col](std::uint32_t a, std::uint32_t b) {
+                         return col[a] < col[b];
+                       });
+      FeatureRuns& fr = runs[f];
+      fr.run_of.resize(num_rows);
+      std::uint32_t run = 0;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i > 0 && col[order[i]] > col[order[i - 1]]) ++run;
+        fr.run_of[order[i]] = run;
+      }
+      fr.num_runs = num_rows > 0 ? run + 1 : 0;
+    }
+    runs_built.store(true, std::memory_order_release);
+  });
+}
+
+}  // namespace detail
+
+Dataset::Dataset()
+    : storage_(std::make_shared<detail::DatasetStorage>(
+          std::vector<std::string>{})) {}
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : storage_(
+          std::make_shared<detail::DatasetStorage>(std::move(feature_names))) {
+}
+
+void Dataset::ensure_appendable() {
+  if (storage_.use_count() == 1 && identity_ &&
+      !storage_->runs_built.load(std::memory_order_acquire))
+    return;
+  // Copy-on-write: materialise this view into fresh storage (no run cache)
+  // so the append cannot be observed through any other view.
+  auto fresh =
+      std::make_shared<detail::DatasetStorage>(storage_->feature_names);
+  const std::size_t nf = fresh->num_features();
+  fresh->num_rows = rows_.size();
+  fresh->flat.reserve(rows_.size() * nf);
+  fresh->y.reserve(rows_.size());
+  fresh->group.reserve(rows_.size());
+  for (std::size_t f = 0; f < nf; ++f) {
+    fresh->columns[f].reserve(rows_.size());
+    for (std::uint32_t r : rows_) fresh->columns[f].push_back(
+        storage_->columns[f][r]);
+  }
+  for (std::uint32_t r : rows_) {
+    const double* src = storage_->flat.data() + std::size_t{r} * nf;
+    fresh->flat.insert(fresh->flat.end(), src, src + nf);
+    fresh->y.push_back(storage_->y[r]);
+    fresh->group.push_back(storage_->group[r]);
+  }
+  storage_ = std::move(fresh);
+  std::iota(rows_.begin(), rows_.end(), 0u);
+  identity_ = true;
+}
+
 void Dataset::add_row(std::vector<double> x, int label, double weight,
                       std::size_t group) {
-  HMD_REQUIRE(x.size() == feature_names_.size());
+  HMD_REQUIRE(x.size() == storage_->num_features());
   HMD_REQUIRE(label == 0 || label == 1);
   HMD_REQUIRE(weight >= 0.0);
-  x_.push_back(std::move(x));
-  y_.push_back(label);
+  ensure_appendable();
+  detail::DatasetStorage& s = *storage_;
+  HMD_REQUIRE(s.num_rows < std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t f = 0; f < x.size(); ++f) s.columns[f].push_back(x[f]);
+  s.flat.insert(s.flat.end(), x.begin(), x.end());
+  s.y.push_back(label);
+  s.group.push_back(group);
+  rows_.push_back(static_cast<std::uint32_t>(s.num_rows));
   w_.push_back(weight);
-  group_.push_back(group);
+  ++s.num_rows;
+}
+
+void Dataset::reserve(std::size_t rows) {
+  ensure_appendable();
+  detail::DatasetStorage& s = *storage_;
+  const std::size_t total = s.num_rows + rows;
+  for (auto& col : s.columns) col.reserve(total);
+  s.flat.reserve(total * s.num_features());
+  s.y.reserve(total);
+  s.group.reserve(total);
+  rows_.reserve(rows_.size() + rows);
+  w_.reserve(w_.size() + rows);
 }
 
 std::vector<double> Dataset::column(std::size_t f) const {
   HMD_REQUIRE(f < num_features());
   std::vector<double> out;
   out.reserve(num_rows());
-  for (const auto& row : x_) out.push_back(row[f]);
+  const std::vector<double>& col = storage_->columns[f];
+  for (std::uint32_t r : rows_) out.push_back(col[r]);
   return out;
+}
+
+std::span<const double> Dataset::column_view(
+    std::size_t f, std::vector<double>& scratch) const {
+  HMD_REQUIRE(f < num_features());
+  const std::vector<double>& col = storage_->columns[f];
+  if (identity_) return col;
+  scratch.clear();
+  scratch.reserve(num_rows());
+  for (std::uint32_t r : rows_) scratch.push_back(col[r]);
+  return scratch;
 }
 
 std::vector<double> Dataset::labels_as_double() const {
   std::vector<double> out;
   out.reserve(num_rows());
-  for (int y : y_) out.push_back(static_cast<double>(y));
+  for (std::uint32_t r : rows_)
+    out.push_back(static_cast<double>(storage_->y[r]));
   return out;
 }
 
@@ -42,7 +167,7 @@ double Dataset::total_weight() const {
 double Dataset::positive_weight() const {
   double acc = 0.0;
   for (std::size_t i = 0; i < num_rows(); ++i)
-    if (y_[i] == 1) acc += w_[i];
+    if (label(i) == 1) acc += w_[i];
   return acc;
 }
 
@@ -64,24 +189,44 @@ Dataset Dataset::select_features(std::span<const std::size_t> features) const {
   names.reserve(features.size());
   for (std::size_t f : features) {
     HMD_REQUIRE(f < num_features());
-    names.push_back(feature_names_[f]);
+    names.push_back(storage_->feature_names[f]);
   }
   Dataset out(std::move(names));
+  out.reserve(num_rows());
   for (std::size_t i = 0; i < num_rows(); ++i) {
     std::vector<double> row;
     row.reserve(features.size());
-    for (std::size_t f : features) row.push_back(x_[i][f]);
-    out.add_row(std::move(row), y_[i], w_[i], group_[i]);
+    for (std::size_t f : features) row.push_back(value(i, f));
+    out.add_row(std::move(row), label(i), w_[i], group(i));
   }
   return out;
 }
 
 Dataset Dataset::subset(std::span<const std::size_t> rows) const {
-  Dataset out(feature_names_);
+  if (dataset_mode() == DatasetMode::kLegacy) {
+    // Reference path: deep copy, as before the columnar core.
+    Dataset out(storage_->feature_names);
+    out.reserve(rows.size());
+    for (std::size_t i : rows) {
+      HMD_REQUIRE(i < num_rows());
+      const std::span<const double> r = row(i);
+      out.add_row(std::vector<double>(r.begin(), r.end()), label(i), w_[i],
+                  group(i));
+    }
+    return out;
+  }
+  Dataset out;
+  out.storage_ = storage_;
+  out.rows_.reserve(rows.size());
+  out.w_.reserve(rows.size());
   for (std::size_t i : rows) {
     HMD_REQUIRE(i < num_rows());
-    out.add_row(x_[i], y_[i], w_[i], group_[i]);
+    out.rows_.push_back(rows_[i]);
+    out.w_.push_back(w_[i]);
   }
+  out.identity_ = out.rows_.size() == storage_->num_rows;
+  for (std::size_t i = 0; out.identity_ && i < out.rows_.size(); ++i)
+    out.identity_ = out.rows_[i] == i;
   return out;
 }
 
@@ -116,6 +261,14 @@ Dataset Dataset::weighted_bootstrap(Rng& rng) const {
   out.set_weights(std::vector<double>(out.num_rows(), 1.0));
   return out;
 }
+
+const detail::FeatureRuns& Dataset::feature_runs(std::size_t f) const {
+  HMD_REQUIRE(f < num_features());
+  storage_->ensure_runs();
+  return storage_->runs[f];
+}
+
+void Dataset::warm_presort_cache() const { storage_->ensure_runs(); }
 
 Split stratified_group_split(const Dataset& data, double train_frac,
                              Rng& rng) {

@@ -23,15 +23,13 @@ std::vector<FeatureScore> sort_scores(std::vector<FeatureScore> scores) {
 std::vector<FeatureScore> correlation_ranking(const Dataset& data) {
   HMD_REQUIRE(data.num_rows() > 1);
   const std::vector<double> y = data.labels_as_double();
-  std::vector<double> w;
-  w.reserve(data.num_rows());
-  for (std::size_t i = 0; i < data.num_rows(); ++i)
-    w.push_back(data.weight(i));
+  const std::span<const double> w = data.weights();
 
   std::vector<FeatureScore> scores;
   scores.reserve(data.num_features());
+  std::vector<double> scratch;
   for (std::size_t f = 0; f < data.num_features(); ++f) {
-    const std::vector<double> col = data.column(f);
+    const std::span<const double> col = data.column_view(f, scratch);
     scores.push_back({f, std::fabs(weighted_pearson(col, y, w))});
   }
   return sort_scores(std::move(scores));
@@ -40,18 +38,16 @@ std::vector<FeatureScore> correlation_ranking(const Dataset& data) {
 std::vector<FeatureScore> info_gain_ranking(const Dataset& data) {
   HMD_REQUIRE(data.num_rows() > 1);
   std::vector<int> labels;
-  std::vector<double> weights;
   labels.reserve(data.num_rows());
-  weights.reserve(data.num_rows());
-  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+  for (std::size_t i = 0; i < data.num_rows(); ++i)
     labels.push_back(data.label(i));
-    weights.push_back(data.weight(i));
-  }
+  const std::span<const double> weights = data.weights();
 
   std::vector<FeatureScore> scores;
   scores.reserve(data.num_features());
+  std::vector<double> scratch;
   for (std::size_t f = 0; f < data.num_features(); ++f) {
-    const std::vector<double> col = data.column(f);
+    const std::span<const double> col = data.column_view(f, scratch);
     const Discretizer disc = mdl_discretize(col, labels, weights);
     scores.push_back({f, information_gain(disc, col, labels, weights)});
   }
@@ -63,9 +59,10 @@ std::vector<FeatureScore> prune_redundant(
     double max_abs_corr) {
   HMD_REQUIRE(max_abs_corr > 0.0 && max_abs_corr <= 1.0);
   std::vector<FeatureScore> kept;
-  std::vector<std::vector<double>> kept_cols;
+  std::vector<std::vector<double>> kept_cols;  // copies of kept columns only
+  std::vector<double> scratch;
   for (const FeatureScore& fs : ranking) {
-    const std::vector<double> col = data.column(fs.feature);
+    const std::span<const double> col = data.column_view(fs.feature, scratch);
     bool redundant = false;
     for (const auto& other : kept_cols) {
       if (std::fabs(pearson(col, other)) >= max_abs_corr) {
@@ -75,7 +72,7 @@ std::vector<FeatureScore> prune_redundant(
     }
     if (!redundant) {
       kept.push_back(fs);
-      kept_cols.push_back(col);
+      kept_cols.emplace_back(col.begin(), col.end());
     }
   }
   return kept;

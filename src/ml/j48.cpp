@@ -19,25 +19,18 @@ struct SplitCandidate {
   bool valid = false;
 };
 
-/// Best binary split of `rows` on feature `f` by information gain, honouring
-/// the minimum branch weight. Applies C4.5's log2(candidates)/W penalty.
-SplitCandidate best_split_on_feature(const Dataset& data,
-                                     const std::vector<std::size_t>& rows,
-                                     std::size_t f, double min_leaf) {
-  struct Item {
-    double v;
-    int y;
-    double w;
-  };
-  std::vector<Item> items;
-  items.reserve(rows.size());
-  double w_pos = 0.0, w_neg = 0.0;
-  for (std::size_t r : rows) {
-    items.push_back({data.row(r)[f], data.label(r), data.weight(r)});
-    (data.label(r) == 1 ? w_pos : w_neg) += data.weight(r);
-  }
-  std::sort(items.begin(), items.end(),
-            [](const Item& a, const Item& b) { return a.v < b.v; });
+/// Best binary split of the node on feature `f` by information gain,
+/// honouring the minimum branch weight. Applies C4.5's log2(candidates)/W
+/// penalty. `w_pos`/`w_neg` are the node's class weights (accumulated in
+/// node-row order by the caller); the scan sequence comes from the presort
+/// layer in canonical order.
+SplitCandidate best_split_on_feature(const std::vector<std::size_t>& rows,
+                                     std::size_t f, double min_leaf,
+                                     double w_pos, double w_neg,
+                                     Presort& presort,
+                                     const Presort::Lists& lists) {
+  std::vector<SweepItem>& items = presort.scratch();
+  presort.gather(rows, lists, f, items);
   const double w_all = w_pos + w_neg;
   const double h_all = binary_entropy(w_pos, w_neg);
 
@@ -132,7 +125,8 @@ double c45_added_errors(double n, double e, double cf) {
   return r * n - e;
 }
 
-std::size_t J48::build(const Dataset& data, std::vector<std::size_t>& rows) {
+std::size_t J48::build(const Dataset& data, std::vector<std::size_t>& rows,
+                       Presort& presort, Presort::Lists& lists) {
   Node node;
   for (std::size_t r : rows)
     (data.label(r) == 1 ? node.w_pos : node.w_neg) += data.weight(r);
@@ -150,8 +144,8 @@ std::size_t J48::build(const Dataset& data, std::vector<std::size_t>& rows) {
   double gain_sum = 0.0;
   std::size_t gain_n = 0;
   for (std::size_t f = 0; f < data.num_features(); ++f) {
-    SplitCandidate c =
-        best_split_on_feature(data, rows, f, min_leaf_weight_);
+    SplitCandidate c = best_split_on_feature(
+        rows, f, min_leaf_weight_, node.w_pos, node.w_neg, presort, lists);
     if (c.valid) {
       gain_sum += c.gain;
       ++gain_n;
@@ -174,10 +168,15 @@ std::size_t J48::build(const Dataset& data, std::vector<std::size_t>& rows) {
   }
 
   std::vector<std::size_t> left_rows, right_rows;
+  const double* best_col = data.raw_column(best->feature).data();
+  const std::uint32_t* map = data.row_map().data();
   for (std::size_t r : rows)
-    (data.row(r)[best->feature] <= best->threshold ? left_rows : right_rows)
-        .push_back(r);
+    (best_col[map[r]] <= best->threshold ? left_rows : right_rows).push_back(r);
   HMD_INVARIANT(!left_rows.empty() && !right_rows.empty());
+
+  Presort::Lists left_lists, right_lists;
+  presort.split_lists(lists, rows, best->feature, best->threshold,
+                      &left_lists, &right_lists);
 
   node.leaf = false;
   node.feature = best->feature;
@@ -186,8 +185,9 @@ std::size_t J48::build(const Dataset& data, std::vector<std::size_t>& rows) {
   const std::size_t self = nodes_.size() - 1;
   rows.clear();
   rows.shrink_to_fit();  // release before recursing on large subsets
-  const std::size_t left = build(data, left_rows);
-  const std::size_t right = build(data, right_rows);
+  lists = Presort::Lists{};
+  const std::size_t left = build(data, left_rows, presort, left_lists);
+  const std::size_t right = build(data, right_rows, presort, right_lists);
   nodes_[self].left = static_cast<std::int64_t>(left);
   nodes_[self].right = static_cast<std::int64_t>(right);
   return self;
@@ -219,8 +219,10 @@ void J48::train(const Dataset& data) {
   nodes_.clear();
   std::vector<std::size_t> rows(data.num_rows());
   for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  Presort presort(data);
+  Presort::Lists lists = presort.make_lists(rows);
   // Our build appends the root first: index 0 is always the root.
-  build(data, rows);
+  build(data, rows, presort, lists);
   if (prune_) prune_subtree(0);
   trained_ = true;
 }

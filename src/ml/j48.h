@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/presort.h"
 
 namespace hmd::ml {
 
@@ -60,7 +61,8 @@ class J48 final : public Classifier {
     double w_neg = 0.0;
   };
 
-  std::size_t build(const Dataset& data, std::vector<std::size_t>& rows);
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& rows,
+                    Presort& presort, Presort::Lists& lists);
   double prune_subtree(std::size_t node);  ///< returns estimated errors
   std::size_t depth_of(std::size_t node) const;
   std::size_t leaves_of(std::size_t node) const;

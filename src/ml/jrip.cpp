@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "ml/presort.h"
 #include "support/check.h"
 #include "support/rng.h"
 
@@ -36,6 +37,12 @@ JRip::Rule JRip::grow_rule(const Dataset& data,
   Rule rule;
   std::vector<std::size_t> covered = rows;
 
+  // Per-feature sorted lists of the grow set, built once per rule from the
+  // storage's value-run cache and filtered in place as conditions accrue
+  // (ties stay in grow-set order, matching the legacy stable sort).
+  Presort presort(data);
+  Presort::Lists lists = presort.make_lists(covered);
+
   for (;;) {
     Coverage before;
     for (std::size_t r : covered)
@@ -47,18 +54,9 @@ JRip::Rule JRip::grow_rule(const Dataset& data,
     // gain using one sorted sweep per feature.
     double best_gain = 1e-9;
     Condition best{};
-    struct Item {
-      double v;
-      int y;
-      double w;
-    };
-    std::vector<Item> items(covered.size());
+    std::vector<SweepItem>& items = presort.scratch();
     for (std::size_t f = 0; f < data.num_features(); ++f) {
-      for (std::size_t i = 0; i < covered.size(); ++i)
-        items[i] = {data.row(covered[i])[f], data.label(covered[i]),
-                    data.weight(covered[i])};
-      std::sort(items.begin(), items.end(),
-                [](const Item& a, const Item& b) { return a.v < b.v; });
+      presort.gather(covered, lists, f, items);
       double lp = 0.0, ln = 0.0;
       for (std::size_t i = 0; i < items.size(); ++i) {
         (items[i].y == target_ ? lp : ln) += items[i].w;
@@ -88,9 +86,14 @@ JRip::Rule JRip::grow_rule(const Dataset& data,
     rule.conditions.push_back(best);
     std::vector<std::size_t> still;
     still.reserve(covered.size());
-    for (std::size_t r : covered)
-      if (best.matches(data.row(r))) still.push_back(r);
+    const double* best_col = data.raw_column(best.feature).data();
+    const std::uint32_t* map = data.row_map().data();
+    for (std::size_t r : covered) {
+      const double v = best_col[map[r]];
+      if (best.leq ? v <= best.value : v >= best.value) still.push_back(r);
+    }
     covered = std::move(still);
+    presort.filter_lists(&lists, best.feature, best.leq, best.value);
     if (covered.empty()) break;
   }
   return rule;

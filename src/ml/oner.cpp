@@ -3,16 +3,11 @@
 #include <algorithm>
 #include <limits>
 
+#include "ml/presort.h"
 #include "support/check.h"
 
 namespace hmd::ml {
 namespace {
-
-struct Sorted {
-  double value;
-  int label;
-  double weight;
-};
 
 struct Rule {
   std::vector<double> cuts;
@@ -20,14 +15,11 @@ struct Rule {
   double error = std::numeric_limits<double>::infinity();
 };
 
-/// Build the OneR bucket rule for one feature (Holte's algorithm):
-/// sweep sorted values; close a bucket once its majority class has at least
-/// `min_bucket` weight and the next value differs; merge adjacent buckets
-/// that predict the same class.
-Rule build_rule(std::vector<Sorted> s, double min_bucket) {
-  std::sort(s.begin(), s.end(),
-            [](const Sorted& a, const Sorted& b) { return a.value < b.value; });
-
+/// Build the OneR bucket rule for one feature (Holte's algorithm) from the
+/// value-sorted items: sweep sorted values; close a bucket once its majority
+/// class has at least `min_bucket` weight and the next value differs; merge
+/// adjacent buckets that predict the same class.
+Rule build_rule(std::span<const SweepItem> s, double min_bucket) {
   struct Bucket {
     double pos = 0.0, neg = 0.0;
     double upper = 0.0;  ///< largest value in bucket
@@ -35,9 +27,9 @@ Rule build_rule(std::vector<Sorted> s, double min_bucket) {
   std::vector<Bucket> buckets;
   Bucket cur;
   for (std::size_t i = 0; i < s.size(); ++i) {
-    (s[i].label == 1 ? cur.pos : cur.neg) += s[i].weight;
-    cur.upper = s[i].value;
-    const bool boundary = i + 1 == s.size() || s[i + 1].value > s[i].value;
+    (s[i].y == 1 ? cur.pos : cur.neg) += s[i].w;
+    cur.upper = s[i].v;
+    const bool boundary = i + 1 == s.size() || s[i + 1].v > s[i].v;
     const bool full = std::max(cur.pos, cur.neg) >= min_bucket;
     if (boundary && (full || i + 1 == s.size())) {
       buckets.push_back(cur);
@@ -83,14 +75,17 @@ void OneR::train(const Dataset& data) {
   HMD_REQUIRE(data.num_rows() > 0);
   HMD_REQUIRE(data.num_features() >= 1);
 
+  std::vector<std::size_t> rows(data.num_rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  Presort presort(data);
+  const Presort::Lists lists = presort.make_lists(rows);
+
   Rule best;
   std::size_t best_feature = 0;
+  std::vector<SweepItem>& items = presort.scratch();
   for (std::size_t f = 0; f < data.num_features(); ++f) {
-    std::vector<Sorted> s;
-    s.reserve(data.num_rows());
-    for (std::size_t i = 0; i < data.num_rows(); ++i)
-      s.push_back({data.row(i)[f], data.label(i), data.weight(i)});
-    Rule rule = build_rule(std::move(s), min_bucket_weight_);
+    presort.gather(rows, lists, f, items);
+    Rule rule = build_rule(items, min_bucket_weight_);
     if (rule.error < best.error) {
       best = std::move(rule);
       best_feature = f;

@@ -10,7 +10,8 @@
 namespace hmd::ml {
 
 std::size_t RandomTree::build(const Dataset& data,
-                              std::vector<std::size_t>& rows, Rng& rng) {
+                              std::vector<std::size_t>& rows, Rng& rng,
+                              Presort& presort, Presort::Lists& lists) {
   Node node;
   for (std::size_t r : rows)
     (data.label(r) == 1 ? node.w_pos : node.w_neg) += data.weight(r);
@@ -38,18 +39,9 @@ std::size_t RandomTree::build(const Dataset& data,
   double best_gain = 1e-9;
   std::size_t best_f = 0;
   double best_thr = 0.0;
-  struct Item {
-    double v;
-    int y;
-    double w;
-  };
-  std::vector<Item> items(rows.size());
+  std::vector<SweepItem>& items = presort.scratch();
   for (std::size_t f : features) {
-    for (std::size_t i = 0; i < rows.size(); ++i)
-      items[i] = {data.row(rows[i])[f], data.label(rows[i]),
-                  data.weight(rows[i])};
-    std::sort(items.begin(), items.end(),
-              [](const Item& a, const Item& b) { return a.v < b.v; });
+    presort.gather(rows, lists, f, items);
     double lp = 0.0, ln = 0.0;
     for (std::size_t i = 0; i + 1 < items.size(); ++i) {
       (items[i].y == 1 ? lp : ln) += items[i].w;
@@ -73,8 +65,13 @@ std::size_t RandomTree::build(const Dataset& data,
   }
 
   std::vector<std::size_t> left_rows, right_rows;
+  const double* best_col = data.raw_column(best_f).data();
+  const std::uint32_t* map = data.row_map().data();
   for (std::size_t r : rows)
-    (data.row(r)[best_f] <= best_thr ? left_rows : right_rows).push_back(r);
+    (best_col[map[r]] <= best_thr ? left_rows : right_rows).push_back(r);
+  Presort::Lists left_lists, right_lists;
+  presort.split_lists(lists, rows, best_f, best_thr, &left_lists,
+                      &right_lists);
   node.leaf = false;
   node.feature = best_f;
   node.threshold = best_thr;
@@ -82,8 +79,9 @@ std::size_t RandomTree::build(const Dataset& data,
   const std::size_t self = nodes_.size() - 1;
   rows.clear();
   rows.shrink_to_fit();
-  const std::size_t l = build(data, left_rows, rng);
-  const std::size_t r = build(data, right_rows, rng);
+  lists = Presort::Lists{};
+  const std::size_t l = build(data, left_rows, rng, presort, left_lists);
+  const std::size_t r = build(data, right_rows, rng, presort, right_lists);
   nodes_[self].left = static_cast<std::int64_t>(l);
   nodes_[self].right = static_cast<std::int64_t>(r);
   return self;
@@ -95,7 +93,9 @@ void RandomTree::train(const Dataset& data) {
   Rng rng(seed_);
   std::vector<std::size_t> rows(data.num_rows());
   for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
-  build(data, rows, rng);
+  Presort presort(data);
+  Presort::Lists lists = presort.make_lists(rows);
+  build(data, rows, rng, presort, lists);
   trained_ = true;
 }
 

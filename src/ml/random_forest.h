@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/presort.h"
 
 namespace hmd::ml {
 
@@ -47,7 +48,7 @@ class RandomTree final : public Classifier {
   };
 
   std::size_t build(const Dataset& data, std::vector<std::size_t>& rows,
-                    Rng& rng);
+                    Rng& rng, Presort& presort, Presort::Lists& lists);
 
   std::size_t features_per_split_;
   double min_leaf_weight_;

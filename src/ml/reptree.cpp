@@ -10,7 +10,8 @@
 namespace hmd::ml {
 
 std::size_t RepTree::build(const Dataset& data,
-                           std::vector<std::size_t>& rows, std::size_t depth) {
+                           std::vector<std::size_t>& rows, std::size_t depth,
+                           Presort& presort, Presort::Lists& lists) {
   Node node;
   for (std::size_t r : rows)
     (data.label(r) == 1 ? node.w_pos : node.w_neg) += data.weight(r);
@@ -27,18 +28,9 @@ std::size_t RepTree::build(const Dataset& data,
   double best_gain = 1e-9;
   std::size_t best_f = 0;
   double best_thr = 0.0;
-  struct Item {
-    double v;
-    int y;
-    double w;
-  };
-  std::vector<Item> items(rows.size());
+  std::vector<SweepItem>& items = presort.scratch();
   for (std::size_t f = 0; f < data.num_features(); ++f) {
-    for (std::size_t i = 0; i < rows.size(); ++i)
-      items[i] = {data.row(rows[i])[f], data.label(rows[i]),
-                  data.weight(rows[i])};
-    std::sort(items.begin(), items.end(),
-              [](const Item& a, const Item& b) { return a.v < b.v; });
+    presort.gather(rows, lists, f, items);
     double lp = 0.0, ln = 0.0;
     for (std::size_t i = 0; i + 1 < items.size(); ++i) {
       (items[i].y == 1 ? lp : ln) += items[i].w;
@@ -62,8 +54,13 @@ std::size_t RepTree::build(const Dataset& data,
   }
 
   std::vector<std::size_t> left_rows, right_rows;
+  const double* best_col = data.raw_column(best_f).data();
+  const std::uint32_t* map = data.row_map().data();
   for (std::size_t r : rows)
-    (data.row(r)[best_f] <= best_thr ? left_rows : right_rows).push_back(r);
+    (best_col[map[r]] <= best_thr ? left_rows : right_rows).push_back(r);
+  Presort::Lists left_lists, right_lists;
+  presort.split_lists(lists, rows, best_f, best_thr, &left_lists,
+                      &right_lists);
   node.leaf = false;
   node.feature = best_f;
   node.threshold = best_thr;
@@ -71,8 +68,10 @@ std::size_t RepTree::build(const Dataset& data,
   const std::size_t self = nodes_.size() - 1;
   rows.clear();
   rows.shrink_to_fit();
-  const std::size_t l = build(data, left_rows, depth + 1);
-  const std::size_t r = build(data, right_rows, depth + 1);
+  lists = Presort::Lists{};
+  const std::size_t l = build(data, left_rows, depth + 1, presort, left_lists);
+  const std::size_t r =
+      build(data, right_rows, depth + 1, presort, right_lists);
   nodes_[self].left = static_cast<std::int64_t>(l);
   nodes_[self].right = static_cast<std::int64_t>(r);
   return self;
@@ -122,7 +121,9 @@ void RepTree::train(const Dataset& data) {
 
   std::vector<std::size_t> rows(grow.num_rows());
   for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
-  build(grow, rows, 0);
+  Presort presort(grow);
+  Presort::Lists lists = presort.make_lists(rows);
+  build(grow, rows, 0, presort, lists);
 
   if (prune.num_rows() > 0) {
     std::vector<std::size_t> prune_rows(prune.num_rows());

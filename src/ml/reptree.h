@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/presort.h"
 
 namespace hmd::ml {
 
@@ -57,7 +58,8 @@ class RepTree final : public Classifier {
   };
 
   std::size_t build(const Dataset& data, std::vector<std::size_t>& rows,
-                    std::size_t depth);
+                    std::size_t depth, Presort& presort,
+                    Presort::Lists& lists);
   /// Returns prune-set errors of the subtree after pruning decisions.
   double rep_prune(const Dataset& prune, std::size_t node,
                    const std::vector<std::size_t>& rows);

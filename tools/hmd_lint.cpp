@@ -24,9 +24,12 @@
 //        --faults P / --fault-seed N (capture fault profile, bench_util),
 //        --max-quarantine R (quarantined-app budget, default 0.05),
 //        --max-impute R (imputed-cell budget, default 0.10),
+//        --max-train-ms N (soft training-time budget per cell; cells over
+//        budget emit a warning, never a failure — 0 disables, the default),
 //        --threads N (workers for capture + grid analysis; default
 //        HMD_THREADS env, else hardware_concurrency — verdicts are
 //        identical for any thread count).
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -48,6 +51,7 @@ struct LintArgs {
   double max_mismatch = 0.02;
   double max_quarantine = 0.05;
   double max_impute = 0.10;
+  double max_train_ms = 0.0;  ///< 0 = no training-time budget
 };
 
 LintArgs parse_args(int argc, char** argv) {
@@ -62,6 +66,8 @@ LintArgs parse_args(int argc, char** argv) {
       args.max_quarantine = std::strtod(argv[i + 1], nullptr);
     if (std::strcmp(argv[i], "--max-impute") == 0 && i + 1 < argc)
       args.max_impute = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-train-ms") == 0 && i + 1 < argc)
+      args.max_train_ms = std::strtod(argv[i + 1], nullptr);
   }
   return args;
 }
@@ -107,10 +113,27 @@ CellVerdict lint_cell(const hmd::core::ExperimentContext& ctx,
   const ml::Dataset& test = projected.test;
 
   auto detector = ml::make_detector(kind, ensemble, ctx.config.model_seed);
+  const auto t0 = std::chrono::steady_clock::now();
   detector->train(projected.train);
+  const double train_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
 
   CellVerdict verdict;
   std::ostringstream detail;
+
+  // Training-time budget is advisory only: a slow cell is a performance
+  // regression to investigate, not a broken model.
+  if (args.max_train_ms > 0.0 && train_ms > args.max_train_ms) {
+    ++verdict.warnings;
+    std::fprintf(stderr,
+                 "[hmd_lint] warning: %s %s @ %zu HPCs trained in %.0f ms "
+                 "(budget %.0f ms)\n",
+                 std::string(ml::ensemble_kind_name(ensemble)).c_str(),
+                 std::string(ml::classifier_kind_name(kind)).c_str(), hpcs,
+                 train_ms, args.max_train_ms);
+  }
 
   const auto absorb = [&](const analysis::VerifyReport& report,
                           const char* stage) {
