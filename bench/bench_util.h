@@ -9,12 +9,25 @@
 //                none (default) | light | heavy (see hpc::fault_profile)
 //   --fault-seed N  seed of the fault stream (default 0); faulted captures
 //                are bit-identical for a given (corpus seed, fault seed)
+//   --checkpoint DIR  persist per-app capture state to DIR as each app
+//                completes (fresh campaign; DIR must not already hold one)
+//   --resume     with --checkpoint: reload completed apps from DIR and
+//                re-execute only quarantined or missing ones. The resumed
+//                capture is bit-identical to an uninterrupted run; a config
+//                fingerprint mismatch (seed, faults, events, protocol, ...)
+//                is a hard error.
+//
+// CLI error contract: an unknown value for any of these flags, or a flag
+// that names a value but sits last on the command line, reports the
+// problem on stderr and exits 2 — flags are never silently ignored.
 #pragma once
 
 #include <chrono>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/hmd.h"
@@ -41,35 +54,91 @@ inline core::ExperimentConfig quick_config() {
   return cfg;
 }
 
+/// The value of a flag that requires one. A value-taking flag as the last
+/// argument is a user error, not something to silently ignore (the old
+/// behaviour: `fig3_accuracy --seed` ran seed 0 without a word).
+inline const char* flag_value(const char* flag, int argc, char** argv,
+                              int i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", flag);
+    std::exit(2);
+  }
+  return argv[i + 1];
+}
+
+/// Strict decimal parse for seed-style flags: every character must be a
+/// digit. strtoull's permissive parsing ("7x" -> 7, "garbage" -> 0) would
+/// silently run the wrong experiment.
+inline std::uint64_t parse_u64_flag(const char* flag, const char* text) {
+  bool ok = *text != '\0';
+  for (const char* p = text; *p != '\0'; ++p)
+    ok = ok && std::isdigit(static_cast<unsigned char>(*p)) != 0;
+  if (!ok) {
+    std::fprintf(stderr, "invalid value '%s' for %s (want a non-negative "
+                         "integer)\n",
+                 text, flag);
+    std::exit(2);
+  }
+  return std::strtoull(text, nullptr, 10);
+}
+
 inline core::ExperimentConfig config_from_args(int argc, char** argv) {
-  core::ExperimentConfig cfg = standard_config();
+  // Parse every flag into locals first; the base config (standard vs
+  // --quick) is chosen afterwards. Applying --quick in the parse loop used
+  // to reassign the whole ExperimentConfig, silently discarding an
+  // already-parsed --seed ("fig3_accuracy --seed 7 --quick" ran seed 0).
+  bool quick = false;
+  std::optional<std::uint64_t> seed;
   std::size_t threads = 0;
   hpc::FaultProfile profile = hpc::FaultProfile::kNone;
   std::uint64_t fault_seed = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) cfg = quick_config();
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-      cfg.corpus.seed = std::strtoull(argv[i + 1], nullptr, 10);
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      const auto parsed = support::parse_thread_count(argv[i + 1]);
-      if (parsed) threads = *parsed;
-    }
-    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
-      const auto parsed = hpc::fault_profile_from_name(argv[i + 1]);
-      if (parsed) {
-        profile = *parsed;
-      } else {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+    if (std::strcmp(argv[i], "--seed") == 0)
+      seed = parse_u64_flag("--seed", flag_value("--seed", argc, argv, i));
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* value = flag_value("--threads", argc, argv, i);
+      const auto parsed = support::parse_thread_count(value);
+      if (!parsed) {
         std::fprintf(stderr,
-                     "unknown --faults profile '%s' (want none|light|heavy)\n",
-                     argv[i + 1]);
+                     "invalid value '%s' for --threads (want a positive "
+                     "integer <= 1024)\n",
+                     value);
         std::exit(2);
       }
+      threads = *parsed;
     }
-    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc)
-      fault_seed = std::strtoull(argv[i + 1], nullptr, 10);
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      const char* value = flag_value("--faults", argc, argv, i);
+      const auto parsed = hpc::fault_profile_from_name(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "unknown --faults profile '%s' (want none|light|heavy)\n",
+                     value);
+        std::exit(2);
+      }
+      profile = *parsed;
+    }
+    if (std::strcmp(argv[i], "--fault-seed") == 0)
+      fault_seed = parse_u64_flag("--fault-seed",
+                                  flag_value("--fault-seed", argc, argv, i));
+    if (std::strcmp(argv[i], "--checkpoint") == 0)
+      checkpoint_dir = flag_value("--checkpoint", argc, argv, i);
   }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
+    std::exit(2);
+  }
+
+  core::ExperimentConfig cfg = quick ? quick_config() : standard_config();
+  if (seed) cfg.corpus.seed = *seed;
   cfg.threads = threads;  // 0 falls back to HMD_THREADS, then auto
   cfg.capture.faults = hpc::fault_profile(profile, fault_seed);
+  cfg.capture.checkpoint_dir = std::move(checkpoint_dir);
+  cfg.capture.resume = resume;
   return cfg;
 }
 
@@ -86,6 +155,11 @@ inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
                cfg.corpus.malware_per_template, cfg.corpus.intervals_per_app,
                support::resolve_threads(cfg.threads),
                hpc::describe_faults(cfg.capture.faults).c_str());
+  if (!cfg.capture.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "[%s] checkpoint: %s (%s campaign)\n", what,
+                 cfg.capture.checkpoint_dir.c_str(),
+                 cfg.capture.resume ? "resuming" : "fresh");
+  }
   const auto t0 = std::chrono::steady_clock::now();
   auto ctx = core::prepare_experiment(cfg);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -98,6 +172,16 @@ inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
                ctx.split.test.num_rows(),
                static_cast<unsigned long long>(ctx.capture.total_runs),
                static_cast<long long>(ms));
+  const hpc::CaptureResumeStats& rs = ctx.resume_stats;
+  if (rs.checkpointing) {
+    std::fprintf(stderr,
+                 "[%s] checkpoint: %zu apps reused (%llu runs from previous "
+                 "sessions), %zu executed (%llu runs this session)\n",
+                 what, rs.loaded_apps,
+                 static_cast<unsigned long long>(rs.loaded_runs),
+                 rs.executed_apps,
+                 static_cast<unsigned long long>(rs.session_runs));
+  }
   const hpc::CaptureReport& rep = ctx.capture.report;
   if (rep.total_retries() > 0 || rep.quarantined_apps() > 0 ||
       rep.total_imputed_cells() > 0 || !rep.degraded_events.empty()) {

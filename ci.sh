@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verification run three times, plus a
-# fault-injection leg.
+# CI entry point: the tier-1 verification run three times, plus
+# fault-injection and checkpoint/resume legs.
 #
 #   1. Release, warnings-as-errors — the production configuration must
 #      compile warning-clean under -Wall -Wextra -Wshadow -Wconversion
@@ -18,6 +18,10 @@
 #      and hmd_lint over a lightly-faulted capture must keep the
 #      quarantine/imputation budgets — both with sanitizers watching the
 #      error-handling paths that a clean run never executes.
+#   5. Checkpoint/resume leg (reuses the Release tree): a checkpointed
+#      heavy-fault campaign is "killed" (one app checkpoint plus the
+#      quarantined set deleted) and resumed; the resumed fig3 table must be
+#      byte-identical to an uninterrupted run's.
 #
 # Each build uses its own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
 # or JOBS (default: all cores).
@@ -76,6 +80,30 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ./build-ci-asan/tools/hmd_lint --quick --faults light
+
+echo "=== [3b] checkpoint/resume: killed campaign must resume byte-identically ==="
+# An uninterrupted heavy-fault run is the reference; a checkpointed run of
+# the same campaign is then "killed" (one completed app's checkpoint plus
+# every quarantined app's checkpoint deleted) and resumed. The resumed
+# fig3 table must be byte-identical to the uninterrupted one, and the
+# resume banner must show reused apps.
+CKPT_DIR="ckpt-ci"
+(
+  cd build-ci-release
+  rm -rf "${CKPT_DIR}" fig3-uninterrupted.txt fig3-resumed.txt resume-log.txt
+  ./bench/fig3_accuracy --quick --faults heavy --threads 2 \
+    > fig3-uninterrupted.txt
+  ./bench/fig3_accuracy --quick --faults heavy --threads 2 \
+    --checkpoint "${CKPT_DIR}" > /dev/null
+  rm -f "${CKPT_DIR}/app_00000.ckpt"
+  grep -l '^quarantined 1$' "${CKPT_DIR}"/app_*.ckpt | xargs -r rm -f
+  ./bench/fig3_accuracy --quick --faults heavy --threads 2 \
+    --checkpoint "${CKPT_DIR}" --resume \
+    > fig3-resumed.txt 2> resume-log.txt
+  grep -q 'apps reused' resume-log.txt
+  diff fig3-uninterrupted.txt fig3-resumed.txt
+  echo "checkpoint/resume OK: resumed fig3 table is byte-identical"
+)
 
 echo "=== [4/4] Debug + HMD_SANITIZE=thread, HMD_THREADS=4 ==="
 cmake -B build-ci-tsan -S . \

@@ -47,7 +47,8 @@ ExperimentContext prepare_experiment(const ExperimentConfig& config) {
   const auto corpus = sim::build_corpus(config.corpus);
   hpc::CaptureConfig capture_cfg = config.capture;
   if (capture_cfg.threads == 0) capture_cfg.threads = config.threads;
-  ctx.capture = hpc::capture_all_events(corpus, capture_cfg);
+  ctx.capture = hpc::capture_all_events(corpus, capture_cfg,
+                                        &ctx.resume_stats);
 
   // Protocol-cost accounting must stay honest under retries: the headline
   // run counter and the per-app fault ledger are maintained separately and
@@ -56,6 +57,20 @@ ExperimentContext prepare_experiment(const ExperimentConfig& config) {
   std::uint64_t ledger_runs = 0;
   for (const auto& app : ctx.capture.report.apps) ledger_runs += app.attempts;
   HMD_INVARIANT(ctx.capture.total_runs == ledger_runs);
+
+  // Merged-ledger invariant under checkpointing: every app is either reused
+  // from a prior session or executed in this one, and total_runs — the
+  // honest protocol cost across sessions — must split exactly into reused
+  // and fresh attempts. A resumed campaign that dropped or double-counted
+  // work would corrupt every downstream cost ablation, so it is fatal.
+  if (ctx.resume_stats.checkpointing) {
+    HMD_INVARIANT(ctx.resume_stats.loaded_apps +
+                      ctx.resume_stats.executed_apps ==
+                  ctx.capture.report.apps.size());
+    HMD_INVARIANT(ctx.resume_stats.loaded_runs +
+                      ctx.resume_stats.session_runs ==
+                  ctx.capture.total_runs);
+  }
 
   ctx.full = to_dataset(ctx.capture);
 

@@ -74,6 +74,11 @@ class ProjectionCache {
 struct ExperimentContext {
   ExperimentConfig config;
   hpc::Capture capture;             ///< raw 44-event matrix
+  /// Checkpoint accounting of the capture session (all-zero unless
+  /// config.capture.checkpoint_dir was set): apps/runs reused from a prior
+  /// session vs executed in this one. Observability only — the capture
+  /// itself is bit-identical whether or not a campaign was resumed.
+  hpc::CaptureResumeStats resume_stats{};
   ml::Dataset full;                 ///< as Dataset (group = application)
   ml::Split split;                  ///< app-level 70/30 split, all features
   std::vector<ml::FeatureScore> ranking;  ///< correlation ranking (train set)

@@ -5,7 +5,9 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <optional>
 
+#include "hpc/checkpoint.h"
 #include "support/check.h"
 #include "support/parallel.h"
 
@@ -235,14 +237,32 @@ AppCapture capture_app_oracle(const sim::AppProfile& app,
 
 /// Run the per-app capture tasks on a pool and assemble the labelled
 /// matrix in corpus order, regardless of task completion order.
+///
+/// Checkpointing rides inside the per-app task: a task whose state was
+/// loaded from `resume[a]` returns it verbatim (zero container runs), every
+/// executed task persists its result through `store` the moment it
+/// completes — each task touches only its own index and file, so the
+/// parallel layer's determinism contract is untouched.
 void capture_parallel(
     const std::vector<sim::AppProfile>& corpus, const CaptureConfig& cfg,
     const std::function<AppCapture(const sim::AppProfile&)>& capture_app,
-    Capture& out) {
+    Capture& out, const CheckpointStore* store,
+    std::vector<std::optional<AppCheckpoint>>& resume,
+    CaptureResumeStats* stats) {
+  HMD_INVARIANT(resume.size() == corpus.size());
   support::ThreadPool pool(cfg.threads);
-  auto per_app = pool.parallel_map(
-      corpus.size(),
-      [&](std::size_t a) { return capture_app(corpus[a]); });
+  auto per_app = pool.parallel_map(corpus.size(), [&](std::size_t a) {
+    if (resume[a]) {
+      AppCapture cap;
+      cap.rows = std::move(resume[a]->rows);  // has_value() stays true
+      cap.report = resume[a]->report;
+      return cap;
+    }
+    AppCapture cap = capture_app(corpus[a]);
+    if (store != nullptr)
+      store->save_app(a, corpus[a].name, cap.rows, cap.report);
+    return cap;
+  });
   std::size_t total_rows = 0;
   for (const auto& cap : per_app) total_rows += cap.rows.size();
   out.rows.reserve(total_rows);
@@ -257,6 +277,15 @@ void capture_parallel(
       out.row_app.push_back(a);
     }
     out.total_runs += per_app[a].report.attempts;
+    if (stats != nullptr) {
+      if (resume[a]) {
+        ++stats->loaded_apps;
+        stats->loaded_runs += per_app[a].report.attempts;
+      } else {
+        ++stats->executed_apps;
+        stats->session_runs += per_app[a].report.attempts;
+      }
+    }
     out.report.apps.push_back(std::move(per_app[a].report));
   }
 }
@@ -323,11 +352,14 @@ double CaptureReport::imputed_fraction() const {
 
 Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
                        const std::vector<sim::Event>& events,
-                       const CaptureConfig& cfg) {
+                       const CaptureConfig& cfg,
+                       CaptureResumeStats* resume_stats) {
   HMD_REQUIRE(!corpus.empty());
   HMD_REQUIRE(!events.empty());
   HMD_REQUIRE_MSG(cfg.min_run_fraction >= 0.0 && cfg.min_run_fraction <= 1.0,
                   "min_run_fraction must be in [0, 1]");
+  HMD_REQUIRE_MSG(!cfg.resume || !cfg.checkpoint_dir.empty(),
+                  "resume requires a checkpoint_dir");
   // The fault model perturbs Container::run, which only the paper's
   // multi-run protocol uses; the static unavailable-event degradation
   // below applies to every protocol.
@@ -368,6 +400,34 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
   if (cfg.faults.any()) injector.emplace(cfg.faults);
   const FaultInjector* faults = injector ? &*injector : nullptr;
 
+  // Checkpointing (hpc/checkpoint.h): fingerprint the campaign, then either
+  // open a fresh store or load the prior session's per-app state. A loaded
+  // *quarantined* app is dropped back to "execute" — quarantine is a
+  // retryable outcome, not a result worth keeping — and with an unchanged
+  // fingerprint its re-execution reproduces the prior ledger bit-for-bit,
+  // so the merged campaign stays identical to an uninterrupted one.
+  std::optional<CheckpointStore> store;
+  std::vector<std::optional<AppCheckpoint>> resume(corpus.size());
+  if (!cfg.checkpoint_dir.empty()) {
+    store.emplace(cfg.checkpoint_dir,
+                  capture_fingerprint(corpus, events, cfg));
+    if (cfg.resume) {
+      store->begin_resume();
+      for (std::size_t a = 0; a < corpus.size(); ++a) {
+        resume[a] = store->load_app(a, available.size());
+        if (resume[a] && resume[a]->report.quarantined) resume[a].reset();
+      }
+    } else {
+      store->begin_fresh();
+    }
+  }
+  if (resume_stats != nullptr) {
+    *resume_stats = {};
+    resume_stats->checkpointing = store.has_value();
+    resume_stats->resumed = cfg.resume;
+  }
+  const CheckpointStore* store_ptr = store ? &*store : nullptr;
+
   switch (cfg.protocol) {
     case CaptureProtocol::kMultiRun: {
       const auto batches =
@@ -378,7 +438,7 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
             return capture_app_multi_run(app, available, batches, cfg,
                                          pmu_cfg, faults);
           },
-          out);
+          out, store_ptr, resume, resume_stats);
       break;
     }
     case CaptureProtocol::kMultiplex: {
@@ -390,7 +450,7 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
             return capture_app_multiplex(app, available, batches, cfg,
                                          pmu_cfg);
           },
-          out);
+          out, store_ptr, resume, resume_stats);
       break;
     }
     case CaptureProtocol::kOracle:
@@ -399,7 +459,7 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
           [&](const sim::AppProfile& app) {
             return capture_app_oracle(app, available, cfg);
           },
-          out);
+          out, store_ptr, resume, resume_stats);
       break;
   }
 
@@ -415,10 +475,11 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
 }
 
 Capture capture_all_events(const std::vector<sim::AppProfile>& corpus,
-                           const CaptureConfig& cfg) {
+                           const CaptureConfig& cfg,
+                           CaptureResumeStats* resume_stats) {
   std::vector<sim::Event> events(sim::all_events().begin(),
                                  sim::all_events().end());
-  return capture_corpus(corpus, events, cfg);
+  return capture_corpus(corpus, events, cfg, resume_stats);
 }
 
 }  // namespace hmd::hpc

@@ -28,6 +28,12 @@
 // screened (NaN / counter-saturation) and imputed (hold-last-value, else
 // per-app median). A CaptureReport records every intervention so nothing
 // degrades silently.
+//
+// Checkpoint/resume: with CaptureConfig::checkpoint_dir set, each app's
+// completed state (rows + ledger) is persisted atomically as it finishes,
+// and a resumed campaign (CaptureConfig::resume) reloads completed apps and
+// re-executes only quarantined or missing ones — bit-identical to an
+// uninterrupted run, guarded by a config fingerprint (hpc/checkpoint.h).
 #pragma once
 
 #include <cstdint>
@@ -72,6 +78,31 @@ struct CaptureConfig {
   /// treated as failed (retried, then quarantined); longer truncations are
   /// accepted and handled by shortest-common-interval alignment.
   double min_run_fraction = 0.5;
+  /// Checkpoint directory for the campaign (see hpc/checkpoint.h). Empty —
+  /// the default — disables checkpointing entirely and leaves the capture
+  /// path byte-identical to a build without the checkpoint layer. Non-empty
+  /// without `resume` starts a fresh campaign, persisting each app's
+  /// state as it completes; with `resume`, previously completed apps are
+  /// loaded and only quarantined or missing ones re-execute.
+  std::string checkpoint_dir{};
+  /// Resume the campaign in checkpoint_dir. Requires a manifest whose
+  /// config fingerprint matches this request exactly (corpus, events,
+  /// protocol, faults, machine/PMU, retry parameters) — any mismatch is a
+  /// hard CheckpointError, never a silent reuse of stale data.
+  bool resume = false;
+};
+
+/// Observability record of one capture session under checkpointing: how
+/// much work was reused versus executed. Deliberately *not* part of
+/// Capture — a resumed Capture must stay bit-identical to an uninterrupted
+/// one, and these numbers necessarily differ between the two.
+struct CaptureResumeStats {
+  bool checkpointing = false;      ///< a checkpoint directory was configured
+  bool resumed = false;            ///< this session loaded a prior campaign
+  std::size_t loaded_apps = 0;     ///< apps reused from checkpoint files
+  std::size_t executed_apps = 0;   ///< apps executed in this session
+  std::uint64_t loaded_runs = 0;   ///< container attempts reused (ledger)
+  std::uint64_t session_runs = 0;  ///< container attempts this session
 };
 
 /// Per-application fault-handling ledger for one capture campaign.
@@ -128,12 +159,16 @@ struct Capture {
 };
 
 /// Collect `events` for every application in `corpus` under `cfg`.
+/// `resume_stats`, when non-null, receives the session's checkpoint
+/// accounting (reused vs executed apps/runs); it never affects the capture.
 Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
                        const std::vector<sim::Event>& events,
-                       const CaptureConfig& cfg = {});
+                       const CaptureConfig& cfg = {},
+                       CaptureResumeStats* resume_stats = nullptr);
 
 /// Convenience: capture all 44 events.
 Capture capture_all_events(const std::vector<sim::AppProfile>& corpus,
-                           const CaptureConfig& cfg = {});
+                           const CaptureConfig& cfg = {},
+                           CaptureResumeStats* resume_stats = nullptr);
 
 }  // namespace hmd::hpc

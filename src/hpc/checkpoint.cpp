@@ -1,0 +1,402 @@
+#include "hpc/checkpoint.h"
+
+#include <bit>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "support/check.h"
+
+namespace hmd::hpc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// 64-bit FNV-1a over a tagged, canonical serialisation of the campaign
+/// inputs. Every value is fed as fixed-width bytes (doubles via their bit
+/// pattern), strings are length-prefixed, so two different input sequences
+/// cannot collide by concatenation.
+class Fnv1a {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<unsigned char>(c));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ull;
+  }
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+void hash_geometry(Fnv1a& h, const sim::CacheGeometry& g) {
+  h.u64(g.sets);
+  h.u64(g.ways);
+  h.u64(g.line_bytes);
+  h.u64(static_cast<std::uint64_t>(g.policy));
+}
+
+void hash_machine(Fnv1a& h, const sim::MachineConfig& m) {
+  hash_geometry(h, m.l1i);
+  hash_geometry(h, m.l1d);
+  hash_geometry(h, m.llc);
+  hash_geometry(h, m.dtlb);
+  hash_geometry(h, m.itlb);
+  h.u64(static_cast<std::uint64_t>(m.branch.kind));
+  h.u64(m.branch.history_bits);
+  hash_geometry(h, m.branch.btb);
+  h.f64(m.base_cpi);
+  h.f64(m.branch_miss_penalty);
+  h.f64(m.btb_miss_penalty);
+  h.f64(m.l1d_miss_penalty);
+  h.f64(m.l1i_miss_penalty);
+  h.f64(m.llc_miss_penalty);
+  h.f64(m.remote_node_penalty);
+  h.f64(m.tlb_miss_penalty);
+  h.f64(m.context_switch_penalty);
+  h.f64(m.deschedule_prob);
+  h.f64(m.deschedule_min_share);
+  h.f64(m.deschedule_max_share);
+}
+
+void hash_events(Fnv1a& h, const std::vector<sim::Event>& events) {
+  h.u64(events.size());
+  for (sim::Event e : events) h.str(sim::event_name(e));
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return std::string(buf);
+}
+
+/// Atomic text-file write: the content lands under `path + ".tmp"` and is
+/// renamed into place, so a crash mid-write never leaves a half-written
+/// file under the final name (loaders ignore .tmp strays).
+void write_atomically(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError("cannot write checkpoint file " + tmp.string() +
+                            ": " + std::strerror(errno));
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      throw CheckpointError("short write to checkpoint file " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw CheckpointError("cannot rename " + tmp.string() + " to " +
+                          path.string() + ": " + ec.message());
+  }
+}
+
+[[noreturn]] void corrupt(const fs::path& path, const std::string& why) {
+  throw CheckpointError("corrupt checkpoint file " + path.string() + ": " +
+                        why + " (delete the file to re-execute this app)");
+}
+
+/// Strict line reader: getline or a named parse error.
+std::istream& need_line(std::istream& in, std::string& line,
+                        const fs::path& path, const char* what) {
+  if (!std::getline(in, line)) corrupt(path, std::string("missing ") + what);
+  return in;
+}
+
+std::uint64_t parse_u64_field(const std::string& line, const char* key,
+                              const fs::path& path) {
+  std::istringstream is(line);
+  std::string k;
+  std::uint64_t v = 0;
+  if (!(is >> k >> v) || k != key)
+    corrupt(path, std::string("expected '") + key + " <n>', got '" + line +
+                      "'");
+  std::string rest;
+  if (is >> rest)
+    corrupt(path, std::string("trailing tokens after '") + key + "'");
+  return v;
+}
+
+constexpr const char* kManifestMagic = "hmd-capture-manifest";
+constexpr const char* kAppMagic = "hmd-app-checkpoint";
+
+}  // namespace
+
+CaptureFingerprint capture_fingerprint(
+    const std::vector<sim::AppProfile>& corpus,
+    const std::vector<sim::Event>& events, const CaptureConfig& cfg) {
+  Fnv1a h;
+  h.str("hmd-capture-fingerprint");
+  h.u64(kCheckpointFormatVersion);
+
+  h.str(capture_protocol_name(cfg.protocol));
+  hash_machine(h, cfg.machine);
+
+  h.str("pmu");
+  h.u64(cfg.pmu.programmable_counters);
+  h.u64(cfg.pmu.counter_bits);
+  hash_events(h, cfg.pmu.unavailable_events);
+
+  h.str("capture");
+  h.u64(cfg.max_retries);
+  h.f64(cfg.min_run_fraction);
+
+  h.str("faults");
+  h.f64(cfg.faults.sample_drop_rate);
+  h.f64(cfg.faults.run_crash_rate);
+  h.f64(cfg.faults.counter_glitch_rate);
+  h.f64(cfg.faults.truncate_rate);
+  h.u64(cfg.faults.seed);
+  hash_events(h, cfg.faults.unavailable_events);
+
+  h.str("events");
+  hash_events(h, events);
+
+  h.str("corpus");
+  h.u64(corpus.size());
+  for (const auto& app : corpus) {
+    h.str(app.name);
+    h.u64(app.seed);
+    h.u64(app.intervals);
+    h.u64(app.is_malware ? 1 : 0);
+  }
+
+  CaptureFingerprint fp;
+  fp.hash = h.value();
+  fp.protocol = std::string(capture_protocol_name(cfg.protocol));
+  fp.num_events = events.size();
+  fp.num_apps = corpus.size();
+  return fp;
+}
+
+CheckpointStore::CheckpointStore(std::string dir,
+                                 CaptureFingerprint fingerprint)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint)) {
+  HMD_REQUIRE_MSG(!dir_.empty(), "checkpoint directory must be non-empty");
+}
+
+std::string CheckpointStore::manifest_path() const {
+  return (fs::path(dir_) / "manifest.ckpt").string();
+}
+
+std::string CheckpointStore::app_path(std::size_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "app_%05zu.ckpt", index);
+  return (fs::path(dir_) / name).string();
+}
+
+void CheckpointStore::begin_fresh() const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw CheckpointError("cannot create checkpoint directory " + dir_ +
+                          ": " + ec.message());
+  }
+  if (fs::exists(manifest_path())) {
+    throw CheckpointError(
+        "checkpoint directory " + dir_ +
+        " already holds a campaign manifest; resume it (--resume) or remove "
+        "the directory before starting a fresh campaign");
+  }
+  std::ostringstream m;
+  m << kManifestMagic << ' ' << fingerprint_.format_version << '\n'
+    << "fingerprint " << hex64(fingerprint_.hash) << '\n'
+    << "protocol " << fingerprint_.protocol << '\n'
+    << "events " << fingerprint_.num_events << '\n'
+    << "apps " << fingerprint_.num_apps << '\n';
+  write_atomically(manifest_path(), m.str());
+}
+
+void CheckpointStore::begin_resume() const {
+  const fs::path path = manifest_path();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("cannot resume: no campaign manifest at " +
+                          path.string());
+  }
+  std::string magic;
+  std::uint32_t version = 0;
+  if (!(in >> magic >> version) || magic != kManifestMagic) {
+    throw CheckpointError("corrupt checkpoint manifest " + path.string() +
+                          ": bad magic");
+  }
+  if (version != fingerprint_.format_version) {
+    throw CheckpointError(
+        "checkpoint format version mismatch at " + path.string() + ": found " +
+        std::to_string(version) + ", this build writes " +
+        std::to_string(fingerprint_.format_version));
+  }
+  std::string key, stored_hash;
+  if (!(in >> key >> stored_hash) || key != "fingerprint") {
+    throw CheckpointError("corrupt checkpoint manifest " + path.string() +
+                          ": missing fingerprint");
+  }
+  if (stored_hash != hex64(fingerprint_.hash)) {
+    // Best effort at a readable diff: the manifest's informative fields.
+    std::string protocol = "?", events = "?", apps = "?";
+    in >> key >> protocol;
+    in >> key >> events;
+    in >> key >> apps;
+    throw CheckpointError(
+        "checkpoint fingerprint mismatch at " + path.string() +
+        ": the stored campaign (" + stored_hash + ", protocol " + protocol +
+        ", " + events + " events, " + apps +
+        " apps) was captured under a different configuration than the one "
+        "requested (" + hex64(fingerprint_.hash) + ", protocol " +
+        fingerprint_.protocol + ", " + std::to_string(fingerprint_.num_events) +
+        " events, " + std::to_string(fingerprint_.num_apps) +
+        " apps) — corpus seed, fault profile/seed, event set, protocol, or "
+        "capture parameters differ; refusing to mix campaigns");
+  }
+}
+
+void CheckpointStore::save_app(std::size_t index, std::string_view app_name,
+                               const std::vector<std::vector<double>>& rows,
+                               const AppCaptureReport& report) const {
+  std::ostringstream out;
+  out << kAppMagic << ' ' << fingerprint_.format_version << '\n'
+      << "fingerprint " << hex64(fingerprint_.hash) << '\n'
+      << "app " << index << '\n'
+      << "name " << app_name << '\n'
+      << "quarantined " << (report.quarantined ? 1 : 0) << '\n'
+      << "attempts " << report.attempts << '\n'
+      << "retries " << report.retries << '\n'
+      << "crashes " << report.crashes << '\n'
+      << "truncated_runs " << report.truncated_runs << '\n'
+      << "aligned_intervals " << report.aligned_intervals << '\n'
+      << "backoff_ms " << report.backoff_ms << '\n'
+      << "cells " << report.cells << '\n'
+      << "dropped_cells " << report.dropped_cells << '\n'
+      << "glitched_cells " << report.glitched_cells << '\n'
+      << "imputed_cells " << report.imputed_cells << '\n';
+  const std::size_t cols = rows.empty() ? 0 : rows.front().size();
+  out << "rows " << rows.size() << ' ' << cols << '\n';
+  char cell[48];
+  for (const auto& row : rows) {
+    HMD_INVARIANT(row.size() == cols);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      // C99 hexadecimal float literals round-trip every finite double
+      // bit-exactly through strtod — the load path must reproduce the
+      // capture to the last bit, decimal shortest-round-trip is not enough.
+      std::snprintf(cell, sizeof(cell), "%s%a", j == 0 ? "" : " ", row[j]);
+      out << cell;
+    }
+    out << '\n';
+  }
+  out << "end\n";
+  write_atomically(app_path(index), out.str());
+}
+
+std::optional<AppCheckpoint> CheckpointStore::load_app(
+    std::size_t index, std::size_t expected_columns) const {
+  const fs::path path = app_path(index);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // never completed — re-execute
+
+  std::string line;
+  need_line(in, line, path, "header");
+  {
+    std::istringstream is(line);
+    std::string magic;
+    std::uint32_t version = 0;
+    if (!(is >> magic >> version) || magic != kAppMagic)
+      corrupt(path, "bad magic");
+    if (version != fingerprint_.format_version)
+      corrupt(path, "format version " + std::to_string(version) +
+                        " (this build reads " +
+                        std::to_string(fingerprint_.format_version) + ")");
+  }
+  need_line(in, line, path, "fingerprint");
+  {
+    std::istringstream is(line);
+    std::string key, stored;
+    if (!(is >> key >> stored) || key != "fingerprint")
+      corrupt(path, "missing fingerprint");
+    if (stored != hex64(fingerprint_.hash))
+      corrupt(path, "fingerprint " + stored +
+                        " belongs to a different campaign (expected " +
+                        hex64(fingerprint_.hash) + ")");
+  }
+  need_line(in, line, path, "app index");
+  if (parse_u64_field(line, "app", path) != index)
+    corrupt(path, "app index does not match file name");
+  need_line(in, line, path, "app name");
+  if (line.rfind("name ", 0) != 0) corrupt(path, "missing app name");
+
+  AppCheckpoint state;
+  AppCaptureReport& rep = state.report;
+  const auto u64_line = [&](const char* key) {
+    need_line(in, line, path, key);
+    return parse_u64_field(line, key, path);
+  };
+  const auto u32_line = [&](const char* key) {
+    return static_cast<std::uint32_t>(u64_line(key));
+  };
+  rep.quarantined = u64_line("quarantined") != 0;
+  rep.attempts = u64_line("attempts");
+  rep.retries = u32_line("retries");
+  rep.crashes = u32_line("crashes");
+  rep.truncated_runs = u32_line("truncated_runs");
+  rep.aligned_intervals = u32_line("aligned_intervals");
+  rep.backoff_ms = u64_line("backoff_ms");
+  rep.cells = static_cast<std::size_t>(u64_line("cells"));
+  rep.dropped_cells = static_cast<std::size_t>(u64_line("dropped_cells"));
+  rep.glitched_cells = static_cast<std::size_t>(u64_line("glitched_cells"));
+  rep.imputed_cells = static_cast<std::size_t>(u64_line("imputed_cells"));
+
+  need_line(in, line, path, "row header");
+  std::size_t num_rows = 0, num_cols = 0;
+  {
+    std::istringstream is(line);
+    std::string key;
+    if (!(is >> key >> num_rows >> num_cols) || key != "rows")
+      corrupt(path, "expected 'rows <n> <cols>', got '" + line + "'");
+  }
+  if (!rep.quarantined && num_rows != rep.aligned_intervals)
+    corrupt(path, "row count disagrees with aligned_intervals");
+  if (num_rows > 0 && num_cols != expected_columns)
+    corrupt(path, "column count " + std::to_string(num_cols) +
+                      " does not match the campaign's feature set (" +
+                      std::to_string(expected_columns) + ")");
+
+  state.rows.reserve(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    need_line(in, line, path, "row data");
+    std::vector<double> row;
+    row.reserve(num_cols);
+    const char* p = line.c_str();
+    for (std::size_t j = 0; j < num_cols; ++j) {
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(p, &end);
+      if (end == p || errno == ERANGE)
+        corrupt(path, "unparseable cell in row " + std::to_string(i));
+      row.push_back(v);
+      p = end;
+    }
+    while (*p == ' ') ++p;
+    if (*p != '\0') corrupt(path, "excess cells in row " + std::to_string(i));
+    state.rows.push_back(std::move(row));
+  }
+  need_line(in, line, path, "end marker");
+  if (line != "end") corrupt(path, "truncated (missing end marker)");
+  return state;
+}
+
+}  // namespace hmd::hpc

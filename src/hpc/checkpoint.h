@@ -1,0 +1,125 @@
+// Checkpoint/resume for capture campaigns.
+//
+// The paper's Figure 2 protocol re-executes every application 11 times
+// (11 batches × 4 events), so an interrupted or quarantine-heavy campaign
+// used to lose all completed work. This module persists per-application
+// capture state — the assembled rows plus the AppCaptureReport ledger — to
+// a checkpoint directory as each application completes, and lets a resumed
+// campaign reload completed applications and re-execute only the
+// quarantined or missing ones.
+//
+// Contracts:
+//
+//  * Bit-identity. A resumed campaign's Capture is bit-identical to an
+//    uninterrupted run at any thread count: rows round-trip through C99
+//    hexadecimal float literals (exact for every finite double), ledgers
+//    are integers, and labels/row_app are re-derived from the corpus, so
+//    nothing depends on which session executed an application.
+//  * Fingerprint, never trust. Every manifest and app file carries a
+//    64-bit FNV-1a fingerprint of everything that determines capture
+//    output — corpus (per-app name/seed/intervals/label), machine and PMU
+//    configuration, event set, protocol, fault rates + fault seed,
+//    retry/alignment parameters. A mismatch on resume is a hard
+//    CheckpointError, never a silent reuse of stale data. Thread count and
+//    the checkpoint settings themselves are deliberately excluded (the
+//    determinism contract makes them output-invariant).
+//  * Atomic writes. Every file is written to "<name>.tmp" and renamed into
+//    place, so a crash mid-write leaves at worst a stray .tmp file (which
+//    loaders ignore) and the directory always loadable.
+//  * Corruption is loud. A truncated, garbled, or wrong-shape app file
+//    fails the resume with a CheckpointError naming the file; delete the
+//    file to re-execute that application instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hpc/capture.h"
+
+namespace hmd::hpc {
+
+/// Thrown on any checkpoint defect: resuming a directory whose fingerprint
+/// does not match the requested campaign, a corrupted or truncated state
+/// file, or an unwritable checkpoint directory.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// On-disk format version; bumped on any incompatible layout change. A
+/// version mismatch is treated exactly like a fingerprint mismatch.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Identity of one capture campaign. `hash` covers every input that can
+/// change the capture output; the named fields ride along for readable
+/// mismatch diagnostics.
+struct CaptureFingerprint {
+  std::uint32_t format_version = kCheckpointFormatVersion;
+  std::uint64_t hash = 0;
+  std::string protocol;        ///< capture_protocol_name(cfg.protocol)
+  std::size_t num_events = 0;  ///< requested (pre-degradation) event count
+  std::size_t num_apps = 0;    ///< corpus size
+};
+
+/// Fingerprint of a (corpus, events, config) capture request. Pure and
+/// deterministic; cfg.threads / cfg.checkpoint_dir / cfg.resume are
+/// excluded because they cannot change any captured bit.
+CaptureFingerprint capture_fingerprint(
+    const std::vector<sim::AppProfile>& corpus,
+    const std::vector<sim::Event>& events, const CaptureConfig& cfg);
+
+/// Persisted state of one completed (or quarantined) application.
+struct AppCheckpoint {
+  std::vector<std::vector<double>> rows;  ///< empty when quarantined
+  AppCaptureReport report;
+};
+
+/// One campaign's checkpoint directory: a manifest naming the campaign
+/// fingerprint plus one "app_NNNNN.ckpt" file per completed application.
+class CheckpointStore {
+ public:
+  CheckpointStore(std::string dir, CaptureFingerprint fingerprint);
+
+  /// Start a fresh campaign: create the directory and write the manifest.
+  /// Refuses (CheckpointError) a directory that already holds a manifest —
+  /// pass resume to continue that campaign, or remove the directory; a
+  /// silent overwrite could leave stale app files mixed into a new run.
+  void begin_fresh() const;
+
+  /// Resume a prior campaign: the manifest must exist and its version and
+  /// fingerprint must match exactly, else CheckpointError.
+  void begin_resume() const;
+
+  /// Load application `index` if its state file exists. Returns nullopt
+  /// when the file is absent (the app was never completed); throws
+  /// CheckpointError when the file exists but is corrupt, truncated, from
+  /// a different campaign, or has a row shape other than
+  /// aligned_intervals × expected_columns.
+  std::optional<AppCheckpoint> load_app(std::size_t index,
+                                        std::size_t expected_columns) const;
+
+  /// Atomically persist application `index` (write-temp + rename).
+  /// `app_name` is stored for human inspection only.
+  void save_app(std::size_t index, std::string_view app_name,
+                const std::vector<std::vector<double>>& rows,
+                const AppCaptureReport& report) const;
+
+  /// Path of application `index`'s state file ("<dir>/app_NNNNN.ckpt").
+  std::string app_path(std::size_t index) const;
+
+  const CaptureFingerprint& fingerprint() const { return fingerprint_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string manifest_path() const;
+
+  std::string dir_;
+  CaptureFingerprint fingerprint_;
+};
+
+}  // namespace hmd::hpc

@@ -83,6 +83,10 @@ std::vector<RocPoint> roc_curve(std::span<const double> scores,
     curve.push_back({total_neg > 0.0 ? fp / total_neg : 0.0,
                      total_pos > 0.0 ? tp / total_pos : 0.0, s});
   }
+  // Close the curve at (1,1) so it is always plottable. For a single-class
+  // score set this endpoint is a fabrication (one axis never moved), which
+  // is why auc() short-circuits degenerate sets to 0.5 instead of
+  // integrating this curve.
   if (curve.back().fpr != 1.0 || curve.back().tpr != 1.0)
     curve.push_back({1.0, 1.0, -std::numeric_limits<double>::infinity()});
   return curve;
@@ -100,6 +104,22 @@ double auc_from_curve(std::span<const RocPoint> curve) {
 
 double auc(std::span<const double> scores, std::span<const int> labels,
            std::span<const double> weights) {
+  HMD_REQUIRE(scores.size() == labels.size());
+  HMD_REQUIRE(weights.empty() || weights.size() == scores.size());
+  // Degenerate (single-class) score sets carry no ranking information: AUC
+  // is the probability that a random positive outranks a random negative,
+  // which is undefined when one class is absent. The curve-based estimate
+  // used to fabricate an answer here — roc_curve force-appends the (1,1)
+  // endpoint, so an all-positive set scored ~1.0 and an all-negative set
+  // ~0.0 regardless of the scores. Report chance level (0.5) instead: it
+  // keeps the paper's ACC×AUC composite finite and neither rewards nor
+  // punishes a detector for a test slice that cannot measure ranking.
+  double total_pos = 0.0, total_neg = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    (labels[i] == 1 ? total_pos : total_neg) += w;
+  }
+  if (total_pos <= 0.0 || total_neg <= 0.0) return 0.5;
   const auto curve = roc_curve(scores, labels, weights);
   return auc_from_curve(curve);
 }

@@ -42,7 +42,10 @@ std::vector<RocPoint> roc_curve(std::span<const double> scores,
 double auc_from_curve(std::span<const RocPoint> curve);
 
 /// AUC via the weighted rank statistic (handles ties — crucial for
-/// classifiers that emit near-hard scores, like SMO/SGD).
+/// classifiers that emit near-hard scores, like SMO/SGD). A degenerate
+/// score set — every label (or all the weight) on one class — has no
+/// ranking information and returns chance level (0.5) rather than the
+/// fabricated 0/1 a forced-endpoint curve integral would produce.
 double auc(std::span<const double> scores, std::span<const int> labels,
            std::span<const double> weights = {});
 

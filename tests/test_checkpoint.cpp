@@ -1,0 +1,382 @@
+// Tests for the capture checkpoint/resume subsystem: fingerprint purity
+// and sensitivity, interrupted-then-resumed bit-identity across thread
+// counts, quarantined-app-only re-execution, and loud rejection of
+// mismatched, corrupted, or truncated checkpoint state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hpc/capture.h"
+#include "hpc/checkpoint.h"
+#include "sim/workloads.h"
+#include "support/check.h"
+
+namespace hmd {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::CorpusConfig tiny_corpus() {
+  sim::CorpusConfig cfg;
+  cfg.benign_per_template = 1;
+  cfg.malware_per_template = 1;
+  cfg.intervals_per_app = 6;
+  return cfg;
+}
+
+/// 12 of the 44 events — 3 multi-run batches on the default 4-counter PMU,
+/// enough to exercise batch alignment while keeping the tests fast.
+std::vector<sim::Event> few_events() {
+  const auto all = sim::all_events();
+  return {all.begin(), all.begin() + 12};
+}
+
+/// Fault mix that quarantines a deterministic subset of the tiny corpus
+/// (some batches exhaust their retries) without quarantining everything.
+hpc::FaultConfig quarantining_faults(std::uint64_t seed = 21) {
+  hpc::FaultConfig f;
+  f.run_crash_rate = 0.5;
+  f.sample_drop_rate = 0.05;
+  f.counter_glitch_rate = 0.02;
+  f.truncate_rate = 0.05;
+  f.seed = seed;
+  return f;
+}
+
+/// Fresh scratch directory under the system temp dir; removed up front so
+/// reruns never see a stale campaign.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir =
+      fs::temp_directory_path() / "hmd_checkpoint_tests" / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string app_file(const std::string& dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "app_%05zu.ckpt", index);
+  return (fs::path(dir) / name).string();
+}
+
+void expect_same_capture(const hpc::Capture& a, const hpc::Capture& b) {
+  EXPECT_EQ(a.feature_names, b.feature_names);
+  EXPECT_EQ(a.rows, b.rows);  // exact doubles, no tolerance
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.row_app, b.row_app);
+  EXPECT_EQ(a.app_names, b.app_names);
+  EXPECT_EQ(a.app_labels, b.app_labels);
+  EXPECT_EQ(a.total_runs, b.total_runs);
+  EXPECT_EQ(a.report.degraded_events, b.report.degraded_events);
+  ASSERT_EQ(a.report.apps.size(), b.report.apps.size());
+  for (std::size_t i = 0; i < a.report.apps.size(); ++i) {
+    const hpc::AppCaptureReport& x = a.report.apps[i];
+    const hpc::AppCaptureReport& y = b.report.apps[i];
+    EXPECT_EQ(x.attempts, y.attempts) << "app " << i;
+    EXPECT_EQ(x.retries, y.retries) << "app " << i;
+    EXPECT_EQ(x.crashes, y.crashes) << "app " << i;
+    EXPECT_EQ(x.truncated_runs, y.truncated_runs) << "app " << i;
+    EXPECT_EQ(x.aligned_intervals, y.aligned_intervals) << "app " << i;
+    EXPECT_EQ(x.backoff_ms, y.backoff_ms) << "app " << i;
+    EXPECT_EQ(x.cells, y.cells) << "app " << i;
+    EXPECT_EQ(x.dropped_cells, y.dropped_cells) << "app " << i;
+    EXPECT_EQ(x.glitched_cells, y.glitched_cells) << "app " << i;
+    EXPECT_EQ(x.imputed_cells, y.imputed_cells) << "app " << i;
+    EXPECT_EQ(x.quarantined, y.quarantined) << "app " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint: pure, output-sensitive, output-invariant-insensitive.
+
+TEST(CheckpointFingerprint, PureAndSensitiveToCaptureInputs) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  hpc::CaptureConfig cfg;
+  cfg.faults = quarantining_faults();
+
+  const auto base = hpc::capture_fingerprint(corpus, events, cfg);
+  EXPECT_EQ(base.hash, hpc::capture_fingerprint(corpus, events, cfg).hash);
+  EXPECT_EQ(base.protocol, "multi-run");
+  EXPECT_EQ(base.num_events, events.size());
+  EXPECT_EQ(base.num_apps, corpus.size());
+
+  // Anything that can change a captured bit must change the hash.
+  hpc::CaptureConfig other_seed = cfg;
+  other_seed.faults.seed = cfg.faults.seed + 1;
+  EXPECT_NE(base.hash,
+            hpc::capture_fingerprint(corpus, events, other_seed).hash);
+
+  hpc::CaptureConfig other_rates = cfg;
+  other_rates.faults.run_crash_rate += 0.01;
+  EXPECT_NE(base.hash,
+            hpc::capture_fingerprint(corpus, events, other_rates).hash);
+
+  hpc::CaptureConfig other_retries = cfg;
+  other_retries.max_retries += 1;
+  EXPECT_NE(base.hash,
+            hpc::capture_fingerprint(corpus, events, other_retries).hash);
+
+  auto fewer_events = events;
+  fewer_events.pop_back();
+  EXPECT_NE(base.hash,
+            hpc::capture_fingerprint(corpus, fewer_events, cfg).hash);
+
+  auto corpus_cfg = tiny_corpus();
+  corpus_cfg.seed = 2019;
+  const auto other_corpus = sim::build_corpus(corpus_cfg);
+  EXPECT_NE(base.hash,
+            hpc::capture_fingerprint(other_corpus, events, cfg).hash);
+}
+
+TEST(CheckpointFingerprint, IgnoresOutputInvariantSettings) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  hpc::CaptureConfig cfg;
+  cfg.faults = quarantining_faults();
+  const auto base = hpc::capture_fingerprint(corpus, events, cfg);
+
+  // The determinism contract makes these settings output-invariant, so two
+  // sessions differing only here must be resumable into one campaign.
+  hpc::CaptureConfig variant = cfg;
+  variant.threads = 7;
+  variant.checkpoint_dir = "somewhere/else";
+  variant.resume = true;
+  EXPECT_EQ(base.hash, hpc::capture_fingerprint(corpus, events, variant).hash);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip bit-identity.
+
+TEST(CheckpointResume, InterruptedCampaignResumesBitIdentically) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  hpc::CaptureConfig cfg;
+  cfg.faults = quarantining_faults();
+  cfg.threads = 1;
+
+  const auto uninterrupted = hpc::capture_corpus(corpus, events, cfg);
+  const std::size_t quarantined = uninterrupted.report.quarantined_apps();
+  ASSERT_GT(quarantined, 0u) << "fault mix must quarantine some apps";
+  ASSERT_LT(quarantined, corpus.size());
+
+  // A resumed campaign must be bit-identical at any thread count: the
+  // checkpointed state is shared, only the re-execution schedule differs.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::string dir = scratch_dir(
+        "bit_identity_t" + std::to_string(threads));
+    hpc::CaptureConfig ckpt_cfg = cfg;
+    ckpt_cfg.checkpoint_dir = dir;
+    (void)hpc::capture_corpus(corpus, events, ckpt_cfg);
+
+    // "Kill" the campaign: one completed app's checkpoint disappears (as if
+    // the session died before writing it). Quarantined apps re-execute by
+    // design, no deletion needed.
+    std::size_t victim = corpus.size();
+    for (std::size_t a = 0; a < corpus.size(); ++a) {
+      if (!uninterrupted.report.apps[a].quarantined) {
+        victim = a;
+        break;
+      }
+    }
+    ASSERT_LT(victim, corpus.size());
+    ASSERT_TRUE(fs::remove(app_file(dir, victim)));
+
+    hpc::CaptureConfig resume_cfg = ckpt_cfg;
+    resume_cfg.resume = true;
+    resume_cfg.threads = threads;
+    hpc::CaptureResumeStats stats;
+    const auto resumed =
+        hpc::capture_corpus(corpus, events, resume_cfg, &stats);
+
+    expect_same_capture(uninterrupted, resumed);
+    EXPECT_TRUE(stats.checkpointing);
+    EXPECT_TRUE(stats.resumed);
+    EXPECT_EQ(stats.executed_apps, quarantined + 1);  // victim + quarantined
+    EXPECT_EQ(stats.loaded_apps, corpus.size() - quarantined - 1);
+    EXPECT_EQ(stats.loaded_apps + stats.executed_apps, corpus.size());
+    EXPECT_EQ(stats.loaded_runs + stats.session_runs, resumed.total_runs);
+  }
+}
+
+TEST(CheckpointResume, UntouchedAppsRunZeroContainersOnResume) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  const std::string dir = scratch_dir("zero_reexecution");
+
+  hpc::CaptureConfig cfg;  // fault-free: nothing quarantined
+  cfg.checkpoint_dir = dir;
+  const auto first = hpc::capture_corpus(corpus, events, cfg);
+
+  hpc::CaptureConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  hpc::CaptureResumeStats stats;
+  const auto resumed = hpc::capture_corpus(corpus, events, resume_cfg, &stats);
+
+  expect_same_capture(first, resumed);
+  EXPECT_EQ(stats.loaded_apps, corpus.size());
+  EXPECT_EQ(stats.executed_apps, 0u);
+  EXPECT_EQ(stats.session_runs, 0u);  // not a single container re-run
+  EXPECT_EQ(stats.loaded_runs, first.total_runs);
+}
+
+TEST(CheckpointResume, OnlyQuarantinedAppsReExecute) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  const std::string dir = scratch_dir("quarantine_only");
+
+  hpc::CaptureConfig cfg;
+  cfg.faults = quarantining_faults();
+  cfg.checkpoint_dir = dir;
+  const auto first = hpc::capture_corpus(corpus, events, cfg);
+  const std::size_t quarantined = first.report.quarantined_apps();
+  ASSERT_GT(quarantined, 0u);
+
+  hpc::CaptureConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  hpc::CaptureResumeStats stats;
+  const auto resumed = hpc::capture_corpus(corpus, events, resume_cfg, &stats);
+
+  // Quarantine is retryable, so exactly the quarantined apps re-execute;
+  // with an unchanged fingerprint they reproduce the same outcome, keeping
+  // the merged campaign bit-identical and total_runs the honest sum.
+  expect_same_capture(first, resumed);
+  EXPECT_EQ(stats.executed_apps, quarantined);
+  EXPECT_EQ(stats.loaded_apps, corpus.size() - quarantined);
+  EXPECT_GT(stats.session_runs, 0u);
+  EXPECT_EQ(stats.loaded_runs + stats.session_runs, resumed.total_runs);
+}
+
+TEST(CheckpointResume, StrayTmpFilesAreIgnored) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  const std::string dir = scratch_dir("stray_tmp");
+
+  hpc::CaptureConfig cfg;
+  cfg.checkpoint_dir = dir;
+  const auto first = hpc::capture_corpus(corpus, events, cfg);
+
+  // A crash mid-write leaves at worst "<name>.tmp"; the loader must skip it.
+  std::ofstream stray(app_file(dir, 2) + ".tmp");
+  stray << "half-written garbage";
+  stray.close();
+
+  hpc::CaptureConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  const auto resumed = hpc::capture_corpus(corpus, events, resume_cfg);
+  expect_same_capture(first, resumed);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection paths: mismatch, corruption, misuse.
+
+TEST(CheckpointReject, FingerprintMismatchIsAHardError) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  const std::string dir = scratch_dir("fingerprint_mismatch");
+
+  hpc::CaptureConfig cfg;
+  cfg.faults = quarantining_faults(21);
+  cfg.checkpoint_dir = dir;
+  (void)hpc::capture_corpus(corpus, events, cfg);
+
+  // Same directory, different fault seed: silently reusing the stored rows
+  // would fabricate a campaign that never ran.
+  hpc::CaptureConfig other = cfg;
+  other.resume = true;
+  other.faults.seed = 22;
+  EXPECT_THROW(hpc::capture_corpus(corpus, events, other),
+               hpc::CheckpointError);
+
+  // Different corpus (one more interval per app) — same rejection.
+  auto bigger = tiny_corpus();
+  bigger.intervals_per_app = 7;
+  const auto other_corpus = sim::build_corpus(bigger);
+  hpc::CaptureConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  EXPECT_THROW(hpc::capture_corpus(other_corpus, events, resume_cfg),
+               hpc::CheckpointError);
+}
+
+TEST(CheckpointReject, CorruptedAppFileIsAHardError) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  const std::string dir = scratch_dir("corrupted_app");
+
+  hpc::CaptureConfig cfg;
+  cfg.checkpoint_dir = dir;
+  (void)hpc::capture_corpus(corpus, events, cfg);
+
+  std::ofstream garbled(app_file(dir, 1), std::ios::trunc);
+  garbled << "not a checkpoint at all\n";
+  garbled.close();
+
+  hpc::CaptureConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  EXPECT_THROW(hpc::capture_corpus(corpus, events, resume_cfg),
+               hpc::CheckpointError);
+}
+
+TEST(CheckpointReject, TruncatedAppFileIsAHardError) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  const std::string dir = scratch_dir("truncated_app");
+
+  hpc::CaptureConfig cfg;
+  cfg.checkpoint_dir = dir;
+  (void)hpc::capture_corpus(corpus, events, cfg);
+
+  // Chop the file mid-way: valid header, missing rows + end marker.
+  const std::string path = app_file(dir, 3);
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(content.size(), 64u);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content.substr(0, content.size() / 2);
+  out.close();
+
+  hpc::CaptureConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  EXPECT_THROW(hpc::capture_corpus(corpus, events, resume_cfg),
+               hpc::CheckpointError);
+}
+
+TEST(CheckpointReject, FreshCampaignRefusesAnExistingManifest) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  const std::string dir = scratch_dir("fresh_refusal");
+
+  hpc::CaptureConfig cfg;
+  cfg.checkpoint_dir = dir;
+  (void)hpc::capture_corpus(corpus, events, cfg);
+  // Starting "fresh" over a live campaign could mix stale app files into a
+  // new run; the caller must resume or remove the directory explicitly.
+  EXPECT_THROW(hpc::capture_corpus(corpus, events, cfg),
+               hpc::CheckpointError);
+}
+
+TEST(CheckpointReject, ResumeWithoutManifestIsAHardError) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  const auto events = few_events();
+  hpc::CaptureConfig cfg;
+  cfg.checkpoint_dir = scratch_dir("no_manifest");
+  cfg.resume = true;
+  EXPECT_THROW(hpc::capture_corpus(corpus, events, cfg),
+               hpc::CheckpointError);
+}
+
+TEST(CheckpointReject, ResumeRequiresACheckpointDir) {
+  const auto corpus = sim::build_corpus(tiny_corpus());
+  hpc::CaptureConfig cfg;
+  cfg.resume = true;  // no checkpoint_dir
+  EXPECT_THROW(hpc::capture_corpus(corpus, few_events(), cfg),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmd

@@ -101,5 +101,36 @@ TEST(DetectorMetrics, PerformanceIsProduct) {
   EXPECT_NEAR(m.performance(), 0.72, 1e-12);
 }
 
+// Regression: a single-class score set used to inherit a fabricated AUC
+// from roc_curve's forced (1,1) endpoint — all-positive sets scored ~1.0
+// and all-negative sets ~0.0 no matter what the scores said. A degenerate
+// set has no ranking information, so AUC must be chance level.
+TEST(Roc, SingleClassAucIsChanceLevel) {
+  const std::vector<double> scores{0.9, 0.7, 0.2};
+  EXPECT_DOUBLE_EQ(auc(scores, std::vector<int>{1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(auc(scores, std::vector<int>{0, 0, 0}), 0.5);
+}
+
+TEST(Roc, ZeroWeightClassAucIsChanceLevel) {
+  // Both labels present, but all the weight sits on one class — just as
+  // degenerate as a single-class label vector.
+  const std::vector<double> scores{0.9, 0.1};
+  const std::vector<int> labels{1, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels, std::vector<double>{1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(auc(scores, labels, std::vector<double>{0.0, 1.0}), 0.5);
+}
+
+TEST(DetectorMetrics, SingleClassSliceKeepsAccuracyAndChanceAuc) {
+  // An all-malware evaluation slice (e.g. a per-family triage report)
+  // still has a meaningful accuracy; its AUC must be 0.5, which keeps the
+  // paper's ACC×AUC composite finite and non-fabricated.
+  const std::vector<double> scores{0.9, 0.8, 0.3, 0.7};
+  const std::vector<int> labels{1, 1, 1, 1};
+  const auto m = detector_metrics(scores, labels);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.75);  // 0.3 falls below the 0.5 threshold
+  EXPECT_DOUBLE_EQ(m.auc, 0.5);
+  EXPECT_DOUBLE_EQ(m.performance(), 0.375);
+}
+
 }  // namespace
 }  // namespace hmd::ml

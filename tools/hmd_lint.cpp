@@ -22,6 +22,9 @@
 // Flags: --quick (reduced corpus), --seed N, --fraction-bits B,
 //        --max-mismatch R (differential tolerance, default 0.02),
 //        --faults P / --fault-seed N (capture fault profile, bench_util),
+//        --checkpoint DIR / --resume (capture checkpointing, bench_util;
+//        the capture budgets below are enforced on the merged
+//        cross-session ledger of a resumed campaign),
 //        --max-quarantine R (quarantined-app budget, default 0.05),
 //        --max-impute R (imputed-cell budget, default 0.10),
 //        --max-train-ms N (soft training-time budget per cell; cells over
@@ -232,6 +235,21 @@ int main(int argc, char** argv) {
 
   table.print(std::cout);
   const hpc::CaptureReport& report = ctx.capture.report;
+  // Budget accounting over a resumed campaign: the quarantine/imputation
+  // fractions below are computed on the *merged* ledger (apps reused from
+  // checkpoints + apps executed this session), never on this session's
+  // slice alone — a resumed campaign must clear the same bar as an
+  // uninterrupted one, and prepare_experiment already verified the merged
+  // ledger sums to total_runs.
+  if (ctx.resume_stats.checkpointing) {
+    std::cout << "capture checkpoint: " << ctx.resume_stats.loaded_apps
+              << "/" << report.apps.size() << " apps reused ("
+              << ctx.resume_stats.loaded_runs
+              << " container runs from previous sessions), "
+              << ctx.resume_stats.executed_apps << " executed ("
+              << ctx.resume_stats.session_runs
+              << " runs this session); budgets apply to the merged ledger\n";
+  }
   std::cout << "capture health: "
             << report.quarantined_apps() << "/" << report.apps.size()
             << " apps quarantined ("
