@@ -22,6 +22,10 @@
 #      heavy-fault campaign is "killed" (one app checkpoint plus the
 #      quarantined set deleted) and resumed; the resumed fig3 table must be
 #      byte-identical to an uninterrupted run's.
+#   6. Static-analysis legs (1d-1f): hmd_srclint must report zero
+#      unsuppressed determinism violations over the tree; clang-tidy and a
+#      clang -Wthread-safety build run when those tools are installed and
+#      skip loudly when not (the default container is gcc-only).
 #
 # Each build uses its own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
 # or JOBS (default: all cores).
@@ -61,6 +65,73 @@ else
   grep -q '"all_scores_match": true' build-ci-release/BENCH_train.json
   grep -q '"tree_ensemble_speedup"' build-ci-release/BENCH_train.json
   echo "BENCH_train.json OK (grep fallback)"
+fi
+
+echo "=== [1d] hmd_srclint: determinism/concurrency source lint ==="
+# The lint must exit 0 (the tree is clean modulo inline allows) and the
+# report must be well-formed: zero unsuppressed violations, a non-empty
+# file set, and the full rule table present.
+./build-ci-release/tools/hmd_srclint --root . \
+  --out build-ci-release/LINT_src.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("build-ci-release/LINT_src.json") as f:
+    report = json.load(f)
+assert report["tool"] == "hmd_srclint", report
+assert report["unsuppressed_total"] == 0, report["violations"]
+assert report["files_scanned"] > 0, "lint scanned no files"
+assert len(report["rules"]) == 5, f"expected 5 rules, got {len(report['rules'])}"
+assert report["errors"] == [], report["errors"]
+print(f"LINT_src.json OK: {report['files_scanned']} files clean "
+      f"under {len(report['rules'])} rules")
+EOF
+else
+  grep -q '"tool": "hmd_srclint"' build-ci-release/LINT_src.json
+  grep -q '"unsuppressed_total": 0' build-ci-release/LINT_src.json
+  echo "LINT_src.json OK (grep fallback)"
+fi
+
+echo "=== [1e] clang-tidy (skipped unless clang-tidy is installed) ==="
+# bugprone-* and clang-analyzer-* hits are errors (.clang-tidy
+# WarningsAsErrors); the compilation database comes from the Release tree,
+# which always exports it.
+if command -v clang-tidy >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1
+then
+  python3 - <<'EOF'
+import json, subprocess, sys
+with open("build-ci-release/compile_commands.json") as f:
+    entries = json.load(f)
+files = sorted({e["file"] for e in entries
+                if "/_deps/" not in e["file"] and "/tsa_checks/" not in e["file"]})
+failed = []
+for path in files:
+    proc = subprocess.run(
+        ["clang-tidy", "-p", "build-ci-release", "--quiet", path],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        failed.append(path)
+        sys.stderr.write(proc.stdout + proc.stderr)
+print(f"clang-tidy: {len(files)} TUs, {len(failed)} failed")
+sys.exit(1 if failed else 0)
+EOF
+else
+  echo "clang-tidy or python3 not installed; skipping tidy leg"
+fi
+
+echo "=== [1f] clang thread-safety analysis (skipped unless clang++ exists) ==="
+# Rebuilds the library targets under clang with -Wthread-safety promoted to
+# an error (cmake/ThreadSafety.cmake), plus the configure-time probes that
+# prove the annotations reject unlocked guarded access.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-ci-tsa -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DHMD_WARNINGS_AS_ERRORS=ON
+  cmake --build build-ci-tsa -j "${JOBS}"
+  (cd build-ci-tsa && ctest --output-on-failure -j "${JOBS}")
+else
+  echo "clang++ not installed; skipping thread-safety leg"
 fi
 
 echo "=== [2/4] Debug + HMD_SANITIZE=address;undefined ==="

@@ -13,9 +13,9 @@ if(HMD_ENABLE_CLANG_TIDY)
   find_program(HMD_CLANG_TIDY_EXE NAMES clang-tidy)
   if(HMD_CLANG_TIDY_EXE)
     message(STATUS "hmd: clang-tidy enabled (${HMD_CLANG_TIDY_EXE})")
+    # The compilation database clang-tidy needs is always exported by the
+    # top-level CMakeLists (CMAKE_EXPORT_COMPILE_COMMANDS ON).
     set(CMAKE_CXX_CLANG_TIDY "${HMD_CLANG_TIDY_EXE}")
-    # clang-tidy needs a compilation database for header analysis too.
-    set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
   else()
     message(WARNING
       "HMD_ENABLE_CLANG_TIDY=ON but no clang-tidy binary was found; "

@@ -1,0 +1,58 @@
+# Clang thread-safety analysis integration.
+#
+# Under clang, every target inheriting hmd_warnings is compiled with
+# `-Wthread-safety -Werror=thread-safety-analysis`, so a guarded-member
+# access without its lock is a build error, not a diagnostic that scrolls
+# by. Under gcc (the default container toolchain) the annotation macros in
+# src/support/thread_safety.h expand to nothing and this module only prints
+# a skip notice — the annotations still compile as plain C++.
+#
+# Two configure-time try_compile probes keep the machinery honest whenever
+# clang IS the compiler:
+#   - tsa_locked_access.cpp   must COMPILE  (annotations accept correct code)
+#   - tsa_unlocked_access.cpp must NOT compile (annotations reject races)
+# The negative probe is the important one: if the macros ever degrade to
+# no-ops under clang, it starts compiling and configuration fails.
+
+function(hmd_enable_thread_safety warnings_target)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(STATUS
+      "hmd: thread-safety analysis skipped (needs clang, have "
+      "${CMAKE_CXX_COMPILER_ID})")
+    return()
+  endif()
+
+  target_compile_options(${warnings_target} INTERFACE
+    -Wthread-safety -Werror=thread-safety-analysis)
+  message(STATUS "hmd: clang -Wthread-safety enabled (errors on violation)")
+
+  set(_tsa_flags
+    "-DCOMPILE_DEFINITIONS=-Wthread-safety -Werror -std=c++20"
+    "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src")
+
+  try_compile(HMD_TSA_POSITIVE_OK
+    ${CMAKE_BINARY_DIR}/tsa_checks/positive
+    ${CMAKE_SOURCE_DIR}/cmake/checks/tsa_locked_access.cpp
+    CMAKE_FLAGS ${_tsa_flags}
+    OUTPUT_VARIABLE _tsa_positive_log)
+  if(NOT HMD_TSA_POSITIVE_OK)
+    message(FATAL_ERROR
+      "hmd: thread-safety positive probe failed to compile — correctly "
+      "locked code is being rejected:\n${_tsa_positive_log}")
+  endif()
+
+  try_compile(HMD_TSA_NEGATIVE_OK
+    ${CMAKE_BINARY_DIR}/tsa_checks/negative
+    ${CMAKE_SOURCE_DIR}/cmake/checks/tsa_unlocked_access.cpp
+    CMAKE_FLAGS ${_tsa_flags}
+    OUTPUT_VARIABLE _tsa_negative_log)
+  if(HMD_TSA_NEGATIVE_OK)
+    message(FATAL_ERROR
+      "hmd: thread-safety negative probe COMPILED — an unlocked access to a "
+      "HMD_GUARDED_BY member was accepted, so the annotation macros are "
+      "dead under this clang. Check src/support/thread_safety.h.")
+  endif()
+  message(STATUS
+    "hmd: thread-safety probes passed (locked access accepted, unlocked "
+    "access rejected)")
+endfunction()

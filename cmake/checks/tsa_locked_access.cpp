@@ -1,0 +1,25 @@
+// Positive thread-safety probe: correctly locked access to a guarded member
+// must compile cleanly under `clang++ -Wthread-safety -Werror`. Paired with
+// tsa_unlocked_access.cpp, which must FAIL to compile — together they prove
+// the HMD_* annotation macros are live (not silently expanding to nothing)
+// on the compiler that configures this build.
+#include "support/thread_safety.h"
+
+namespace {
+
+struct Counter {
+  hmd::support::Mutex mutex;
+  int value HMD_GUARDED_BY(mutex) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  {
+    hmd::support::MutexLock lock(c.mutex);
+    c.value = 1;
+  }
+  hmd::support::MutexLock lock(c.mutex);
+  return c.value == 1 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+// Negative thread-safety probe: this file accesses a HMD_GUARDED_BY member
+// WITHOUT holding its mutex, and cmake/ThreadSafety.cmake asserts that it
+// FAILS to compile under `clang++ -Wthread-safety -Werror`. If it ever
+// starts compiling, the annotation macros have degraded to no-ops on a
+// compiler that should enforce them.
+#include "support/thread_safety.h"
+
+namespace {
+
+struct Counter {
+  hmd::support::Mutex mutex;
+  int value HMD_GUARDED_BY(mutex) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.value = 1;  // unlocked write: -Wthread-safety must reject this
+  return c.value;
+}

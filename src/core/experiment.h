@@ -19,7 +19,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -51,12 +50,15 @@ namespace detail {
 /// The 8 classifiers × 3 ensembles of one HPC budget all train on the same
 /// projected train/test pair; caching the four {16,8,4,2} projections means
 /// 24 grid cells share one materialisation instead of copying the split 96
-/// times per binary. Values are pointer-stable once built.
+/// times per binary. Values are pointer-stable once built: entries are
+/// heap-allocated, never erased, and a returned Split is immutable (grid
+/// cells read it concurrently without further locking — its presort cache
+/// is warmed before publication, see ExperimentContext::projected_split).
 class ProjectionCache {
  public:
   const ml::Split& get(std::size_t hpcs,
                        const std::function<ml::Split()>& build) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     auto it = cache_.find(hpcs);
     if (it == cache_.end())
       it = cache_.emplace(hpcs, std::make_unique<ml::Split>(build())).first;
@@ -64,8 +66,9 @@ class ProjectionCache {
   }
 
  private:
-  std::mutex mutex_;
-  std::map<std::size_t, std::unique_ptr<ml::Split>> cache_;
+  support::Mutex mutex_;
+  std::map<std::size_t, std::unique_ptr<ml::Split>> cache_
+      HMD_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail

@@ -81,6 +81,12 @@ struct AppCheckpoint {
 
 /// One campaign's checkpoint directory: a manifest naming the campaign
 /// fingerprint plus one "app_NNNNN.ckpt" file per completed application.
+///
+/// Concurrency: capture workers call save_app / load_app concurrently, one
+/// worker per application. The store needs no mutex for that — both members
+/// are `const` (immutable after construction, statically enforced), every
+/// method is const, and concurrent calls touch disjoint per-index files;
+/// the write-temp-then-rename protocol keeps each file individually atomic.
 class CheckpointStore {
  public:
   CheckpointStore(std::string dir, CaptureFingerprint fingerprint);
@@ -118,8 +124,8 @@ class CheckpointStore {
  private:
   std::string manifest_path() const;
 
-  std::string dir_;
-  CaptureFingerprint fingerprint_;
+  const std::string dir_;
+  const CaptureFingerprint fingerprint_;
 };
 
 }  // namespace hmd::hpc

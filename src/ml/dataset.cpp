@@ -36,29 +36,45 @@ void set_dataset_mode(DatasetMode mode) {
 namespace detail {
 
 void DatasetStorage::ensure_runs() {
-  std::call_once(runs_once, [this] {
-    runs.resize(columns.size());
-    std::vector<std::uint32_t> order(num_rows);
-    for (std::size_t f = 0; f < columns.size(); ++f) {
-      const std::vector<double>& col = columns[f];
-      std::iota(order.begin(), order.end(), 0u);
-      // stable: equal values keep ascending storage-row order, so run
-      // membership is a pure function of the value.
-      std::stable_sort(order.begin(), order.end(),
-                       [&col](std::uint32_t a, std::uint32_t b) {
-                         return col[a] < col[b];
-                       });
-      FeatureRuns& fr = runs[f];
-      fr.run_of.resize(num_rows);
-      std::uint32_t run = 0;
-      for (std::size_t i = 0; i < order.size(); ++i) {
-        if (i > 0 && col[order[i]] > col[order[i - 1]]) ++run;
-        fr.run_of[order[i]] = run;
-      }
-      fr.num_runs = num_rows > 0 ? run + 1 : 0;
+  // Double-checked publication: the unlocked acquire-probe makes the
+  // post-build fast path lock-free, the mutex serialises racing builders,
+  // and the release-store publishes the completed cache to later probes.
+  if (runs_built.load(std::memory_order_acquire)) return;
+  support::MutexLock lock(runs_mutex);
+  if (runs_built.load(std::memory_order_relaxed)) return;
+  runs.resize(columns.size());
+  std::vector<std::uint32_t> order(num_rows);
+  for (std::size_t f = 0; f < columns.size(); ++f) {
+    const std::vector<double>& col = columns[f];
+    std::iota(order.begin(), order.end(), 0u);
+    // stable: equal values keep ascending storage-row order, so run
+    // membership is a pure function of the value.
+    std::stable_sort(order.begin(), order.end(),
+                     [&col](std::uint32_t a, std::uint32_t b) {
+                       return col[a] < col[b];
+                     });
+    FeatureRuns& fr = runs[f];
+    fr.run_of.resize(num_rows);
+    std::uint32_t run = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i > 0 && col[order[i]] > col[order[i - 1]]) ++run;
+      fr.run_of[order[i]] = run;
     }
-    runs_built.store(true, std::memory_order_release);
-  });
+    fr.num_runs = num_rows > 0 ? run + 1 : 0;
+  }
+  runs_built.store(true, std::memory_order_release);
+}
+
+// Reads `runs` without holding runs_mutex, which the thread-safety analysis
+// cannot model: the runtime precondition below is the actual guard — a true
+// runs_ready() acquire-load synchronises with the builder's release-store,
+// after which `runs` is immutable (ensure_appendable clones run-cached
+// storage rather than appending to it).
+const FeatureRuns& DatasetStorage::runs_of(std::size_t f)
+    const HMD_NO_THREAD_SAFETY_ANALYSIS {
+  HMD_REQUIRE_MSG(runs_ready(),
+                  "value-run cache read before ensure_runs() published it");
+  return runs[f];
 }
 
 }  // namespace detail
@@ -73,8 +89,7 @@ Dataset::Dataset(std::vector<std::string> feature_names)
 }
 
 void Dataset::ensure_appendable() {
-  if (storage_.use_count() == 1 && identity_ &&
-      !storage_->runs_built.load(std::memory_order_acquire))
+  if (storage_.use_count() == 1 && identity_ && !storage_->runs_ready())
     return;
   // Copy-on-write: materialise this view into fresh storage (no run cache)
   // so the append cannot be observed through any other view.
@@ -265,7 +280,7 @@ Dataset Dataset::weighted_bootstrap(Rng& rng) const {
 const detail::FeatureRuns& Dataset::feature_runs(std::size_t f) const {
   HMD_REQUIRE(f < num_features());
   storage_->ensure_runs();
-  return storage_->runs[f];
+  return storage_->runs_of(f);
 }
 
 void Dataset::warm_presort_cache() const { storage_->ensure_runs(); }

@@ -21,8 +21,12 @@
 // The storage also carries a lazily built per-feature *value-run* cache
 // (rows ranked by value, ties collapsed into runs) that the tree/rule
 // learners use to replace per-node std::sort with counting sorts — see
-// ml/presort.h. The cache is built once per storage (thread-safe) and is
-// shared by every view, bag and boosting round over that storage.
+// ml/presort.h. The cache is built once per storage under `runs_mutex`
+// (concurrent grid cells race to build it; one wins, the rest wait) and
+// published through the `runs_built` release-store; after a true
+// acquire-load it is immutable and read lock-free through runs_of(). The
+// guarded-build/lock-free-read protocol is annotated for clang's
+// -Wthread-safety analysis (support/thread_safety.h).
 //
 // `HMD_LEGACY_DATASET=1` (or set_dataset_mode) selects the legacy
 // reference path — deep-copy resampling and per-node sorting — kept for one
@@ -34,12 +38,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "support/rng.h"
+#include "support/thread_safety.h"
 
 namespace hmd::ml {
 
@@ -77,8 +81,10 @@ struct DatasetStorage {
   std::vector<std::size_t> group;
   std::size_t num_rows = 0;
 
-  std::vector<FeatureRuns> runs;  ///< built once by ensure_runs()
-  std::once_flag runs_once;
+  /// Value-run cache build state: `runs` is written exactly once, under
+  /// `runs_mutex`, then published by the release-store of `runs_built`.
+  support::Mutex runs_mutex;
+  std::vector<FeatureRuns> runs HMD_GUARDED_BY(runs_mutex);
   std::atomic<bool> runs_built{false};
 
   explicit DatasetStorage(std::vector<std::string> names)
@@ -89,6 +95,15 @@ struct DatasetStorage {
   /// Build the per-feature value-run cache (idempotent, thread-safe:
   /// concurrent grid cells training on the same projection race here).
   void ensure_runs();
+
+  /// True once the cache has been published (acquire: a true result makes
+  /// the builder's writes to `runs` visible to this thread).
+  bool runs_ready() const {
+    return runs_built.load(std::memory_order_acquire);
+  }
+
+  /// Lock-free read of the published cache. Precondition: runs_ready().
+  const FeatureRuns& runs_of(std::size_t f) const;
 };
 
 }  // namespace detail

@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -62,45 +62,52 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  HMD_REQUIRE_MSG(job_ == nullptr,
-                  "ThreadPool supports one parallel_for at a time");
-  job_ = &fn;
-  job_n_ = n;
-  next_ = 0;
-  error_ = nullptr;
-  error_index_ = n;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return next_ >= job_n_ && active_ == 0; });
-  job_ = nullptr;
-  if (error_ != nullptr) {
-    const std::exception_ptr error = error_;
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    HMD_REQUIRE_MSG(job_ == nullptr,
+                    "ThreadPool supports one parallel_for at a time");
+    job_ = &fn;
+    job_n_ = n;
+    next_ = 0;
     error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
+    error_index_ = n;
+    work_cv_.notify_all();
+    // condition_variable_any waits on the annotated mutex directly; the
+    // capability is held again whenever the predicate is evaluated.
+    while (!(next_ >= job_n_ && active_ == 0)) done_cv_.wait(mutex_);
+    job_ = nullptr;
+    error = error_;
+    error_ = nullptr;
   }
+  // Rethrown outside the lock so a handler touching the pool cannot
+  // deadlock against it.
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
   for (;;) {
-    work_cv_.wait(lock, [this] {
-      return stop_ || (job_ != nullptr && next_ < job_n_);
-    });
-    if (stop_) return;
+    while (!stop_ && (job_ == nullptr || next_ >= job_n_))
+      work_cv_.wait(mutex_);
+    if (stop_) break;
     while (job_ != nullptr && next_ < job_n_) {
+      // Copy the job pointer while the lock is held: parallel_for cannot
+      // retire the job until active_ drops back to zero, so the copy stays
+      // valid for the unlocked call below.
+      const std::function<void(std::size_t)>* job = job_;
       const std::size_t index = next_++;
       ++active_;
-      lock.unlock();
+      mutex_.unlock();
       tls_in_pool_worker = true;
       std::exception_ptr thrown;
       try {
-        (*job_)(index);
+        (*job)(index);
       } catch (...) {
         thrown = std::current_exception();
       }
       tls_in_pool_worker = false;
-      lock.lock();
+      mutex_.lock();
       if (thrown != nullptr && index < error_index_) {
         // Every unit still runs; reporting the lowest-index failure keeps
         // the observable error independent of scheduling.
@@ -111,6 +118,7 @@ void ThreadPool::worker_loop() {
       if (next_ >= job_n_ && active_ == 0) done_cv_.notify_all();
     }
   }
+  mutex_.unlock();
 }
 
 }  // namespace hmd::support

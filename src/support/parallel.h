@@ -29,11 +29,12 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/thread_safety.h"
 
 namespace hmd::support {
 
@@ -84,16 +85,25 @@ class ThreadPool {
   std::size_t size_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< workers wait for a job
-  std::condition_variable done_cv_;  ///< the caller waits for completion
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::size_t next_ = 0;    ///< next unclaimed index of the current job
-  std::size_t active_ = 0;  ///< workers currently executing a unit
-  bool stop_ = false;
-  std::exception_ptr error_;
-  std::size_t error_index_ = 0;  ///< lowest index that threw so far
+  /// Every field of the job state below is guarded by mutex_ (checked by
+  /// clang -Wthread-safety; see support/thread_safety.h). Workers execute a
+  /// claimed unit with the lock *released*, through a pointer copied while
+  /// it was held — parallel_for cannot retire the job before active_ drops
+  /// to zero, so the copy outlives the call.
+  Mutex mutex_;
+  std::condition_variable_any work_cv_;  ///< workers wait for a job
+  std::condition_variable_any done_cv_;  ///< the caller waits for completion
+  const std::function<void(std::size_t)>* job_ HMD_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t job_n_ HMD_GUARDED_BY(mutex_) = 0;
+  /// next unclaimed index of the current job
+  std::size_t next_ HMD_GUARDED_BY(mutex_) = 0;
+  /// workers currently executing a unit
+  std::size_t active_ HMD_GUARDED_BY(mutex_) = 0;
+  bool stop_ HMD_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ HMD_GUARDED_BY(mutex_);
+  /// lowest index that threw so far
+  std::size_t error_index_ HMD_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hmd::support
