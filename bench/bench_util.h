@@ -16,6 +16,11 @@
 //                capture is bit-identical to an uninterrupted run; a config
 //                fingerprint mismatch (seed, faults, events, protocol, ...)
 //                is a hard error.
+//   --backend B  inference backend for grid evaluation: flat (default,
+//                batched branch-free engine) | scalar (reference row walk).
+//                Backends are bit-identical, so all emitted tables/figures
+//                are byte-identical across this flag (ci.sh diffs them) —
+//                it only changes evaluation speed.
 //
 // CLI error contract: an unknown value for any of these flags, or a flag
 // that names a value but sits last on the command line, reports the
@@ -127,6 +132,16 @@ inline core::ExperimentConfig config_from_args(int argc, char** argv) {
                                   flag_value("--fault-seed", argc, argv, i));
     if (std::strcmp(argv[i], "--checkpoint") == 0)
       checkpoint_dir = flag_value("--checkpoint", argc, argv, i);
+    if (std::strcmp(argv[i], "--backend") == 0) {
+      const char* value = flag_value("--backend", argc, argv, i);
+      const auto parsed = ml::backend_kind_from_name(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "unknown --backend '%s' (want scalar|flat)\n", value);
+        std::exit(2);
+      }
+      ml::set_infer_backend_kind(*parsed);
+    }
   }
   if (resume && checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
@@ -155,6 +170,9 @@ inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
                cfg.corpus.malware_per_template, cfg.corpus.intervals_per_app,
                support::resolve_threads(cfg.threads),
                hpc::describe_faults(cfg.capture.faults).c_str());
+  std::fprintf(
+      stderr, "[%s] inference backend: %s\n", what,
+      std::string(ml::backend_kind_name(ml::infer_backend_kind())).c_str());
   if (!cfg.capture.checkpoint_dir.empty()) {
     std::fprintf(stderr, "[%s] checkpoint: %s (%s campaign)\n", what,
                  cfg.capture.checkpoint_dir.c_str(),

@@ -22,7 +22,10 @@
 #      heavy-fault campaign is "killed" (one app checkpoint plus the
 #      quarantined set deleted) and resumed; the resumed fig3 table must be
 #      byte-identical to an uninterrupted run's.
-#   6. Static-analysis legs (1d-1f): hmd_srclint must report zero
+#   6. Inference legs (1c2-1c3): the scalar-vs-flat inference benchmark
+#      must report bit-identical scores in every grid cell, and the fig3
+#      table must be byte-identical whichever backend scores it.
+#   7. Static-analysis legs (1d-1f): hmd_srclint must report zero
 #      unsuppressed determinism violations over the tree; clang-tidy and a
 #      clang -Wthread-safety build run when those tools are installed and
 #      skip loudly when not (the default container is gcc-only).
@@ -66,6 +69,43 @@ else
   grep -q '"tree_ensemble_speedup"' build-ci-release/BENCH_train.json
   echo "BENCH_train.json OK (grep fallback)"
 fi
+
+echo "=== [1c2] micro_infer: inference benchmark, scalar vs flat (quick) ==="
+(cd build-ci-release && ./bench/micro_infer --quick --reps 1)
+# The benchmark exits non-zero if any backend pair disagrees; also require
+# a well-formed report where every cell's scores matched bitwise.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("build-ci-release/BENCH_infer.json") as f:
+    report = json.load(f)
+assert report["bench"] == "micro_infer", report
+assert report["all_scores_match"] is True, "scalar/flat scores diverge"
+assert len(report["cells"]) == 24, f"expected 24 cells, got {len(report['cells'])}"
+assert all(c["score_match"] for c in report["cells"]), report["cells"]
+assert report["tree_ensemble_speedup"] > 0, report["tree_ensemble_speedup"]
+print(f"BENCH_infer.json OK: tree-ensemble speedup "
+      f"{report['tree_ensemble_speedup']:.2f}x")
+EOF
+else
+  grep -q '"bench": "micro_infer"' build-ci-release/BENCH_infer.json
+  grep -q '"all_scores_match": true' build-ci-release/BENCH_infer.json
+  grep -q '"tree_ensemble_speedup"' build-ci-release/BENCH_infer.json
+  echo "BENCH_infer.json OK (grep fallback)"
+fi
+
+echo "=== [1c3] fig3 table must be byte-identical across inference backends ==="
+# The paper tables are produced through the process-wide backend selection;
+# the flat engine's bit-identity contract means the artifact bytes cannot
+# depend on which backend scored them.
+(
+  cd build-ci-release
+  rm -f fig3-backend-scalar.txt fig3-backend-flat.txt
+  ./bench/fig3_accuracy --quick --backend scalar > fig3-backend-scalar.txt
+  ./bench/fig3_accuracy --quick --backend flat > fig3-backend-flat.txt
+  diff fig3-backend-scalar.txt fig3-backend-flat.txt
+  echo "fig3 OK: scalar and flat backends produce byte-identical tables"
+)
 
 echo "=== [1d] hmd_srclint: determinism/concurrency source lint ==="
 # The lint must exit 0 (the tree is clean modulo inline allows) and the

@@ -9,7 +9,9 @@
 #include <set>
 #include <vector>
 
+#include "analysis/fixed_backend.h"
 #include "hw/hls_codegen.h"
+#include "ml/infer.h"
 #include "support/check.h"
 
 namespace hmd::analysis {
@@ -501,6 +503,10 @@ VerifyReport check_fixed_point_range(const ModelIr& ir, int fraction_bits) {
   return report;
 }
 
+std::int32_t fixed_point_encode(double v, int fraction_bits) {
+  return saturate_i32(fx(v, fraction_bits));
+}
+
 int fixed_point_decide(const ModelIr& ir, std::span<const std::int32_t> x,
                        int fraction_bits) {
   return std::visit(FixedDecide{x, fraction_bits}, ir.structure);
@@ -511,18 +517,25 @@ DifferentialResult differential_check(const ml::Classifier& model,
                                       const DifferentialOptions& options) {
   HMD_REQUIRE_MSG(probes.num_rows() > 0,
                   "differential check needs a non-empty probe set");
-  const ModelIr ir = extract_ir(model);
+  // Both sides of the comparison are batched inference backends: the flat
+  // engine stands in for predict_proba (bit-identical by contract, see
+  // ml/infer.h), the fixed backend bit-simulates the generated C. This
+  // turned the lint's hottest loop from two pointer walks per probe row
+  // into two contiguous batch sweeps.
+  const FixedPointBackend mirror(extract_ir(model), options.fraction_bits);
+  const auto live = ml::make_backend(model, ml::InferBackendKind::kFlat);
+  const std::vector<double> live_scores = live->predict_proba_batch(probes);
+  const std::vector<double> mirror_scores =
+      mirror.predict_proba_batch(probes);
 
   DifferentialResult result;
   result.probes = probes.num_rows();
-  std::vector<std::int32_t> xf;
   for (std::size_t i = 0; i < probes.num_rows(); ++i) {
-    const auto row = probes.row(i);
-    xf.clear();
-    for (double v : row)
-      xf.push_back(saturate_i32(fx(v, options.fraction_bits)));
-    const int mirror = fixed_point_decide(ir, xf, options.fraction_bits);
-    if (mirror != model.predict(row)) ++result.mismatches;
+    const int live_decision =
+        live_scores[i] >= ml::kDecisionThreshold ? 1 : 0;
+    const int mirror_decision =
+        mirror_scores[i] >= ml::kDecisionThreshold ? 1 : 0;
+    if (mirror_decision != live_decision) ++result.mismatches;
   }
   result.ok = result.mismatch_rate() <= options.max_mismatch_rate;
   return result;

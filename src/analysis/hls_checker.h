@@ -70,6 +70,10 @@ struct DifferentialResult {
   }
 };
 
+/// Encode one feature value exactly as the differential harness feeds the
+/// generated C function: Q(fraction_bits) via llround, saturated to int32.
+std::int32_t fixed_point_encode(double v, int fraction_bits);
+
 /// Decide `x` (already fixed-point encoded at `fraction_bits`) exactly as
 /// the generated C function would — same rounding, same comparison
 /// directions, same vote arithmetic. Returns 1 for malware, 0 for benign.

@@ -19,6 +19,7 @@
 #include "ml/classifier.h"     // IWYU pragma: export
 #include "ml/dataset.h"        // IWYU pragma: export
 #include "ml/feature_selection.h"  // IWYU pragma: export
+#include "ml/infer.h"          // IWYU pragma: export
 #include "ml/metrics.h"        // IWYU pragma: export
 #include "sim/machine.h"       // IWYU pragma: export
 #include "sim/workloads.h"     // IWYU pragma: export

@@ -17,6 +17,7 @@ OnlineDetector::OnlineDetector(std::shared_ptr<const ml::Classifier> model,
       cfg_(cfg) {
   HMD_REQUIRE(model_ != nullptr);
   HMD_REQUIRE(!events_.empty());
+  backend_ = ml::make_active_backend(*model_);
   HMD_REQUIRE(cfg_.alarm_off <= cfg_.alarm_on);
   // Graceful degradation: events this PMU cannot count are excluded from
   // programming and fed held values instead of failing deployment.
@@ -43,7 +44,7 @@ Verdict OnlineDetector::observe(const sim::EventCounts& counts) {
   Verdict v;
   v.interval = interval_++;
   v.degraded = degraded();
-  v.score = model_->predict_proba(held_);
+  v.score = backend_->predict_proba(held_);
 
   if (v.interval < cfg_.warmup_intervals) {
     // Cold caches make the first interval(s) unrepresentative.

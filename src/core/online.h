@@ -13,6 +13,7 @@
 #include "hpc/capture.h"
 #include "hpc/pmu.h"
 #include "ml/classifier.h"
+#include "ml/infer.h"
 #include "sim/app_profile.h"
 #include "sim/machine.h"
 
@@ -83,6 +84,10 @@ class OnlineDetector {
 
  private:
   std::shared_ptr<const ml::Classifier> model_;
+  /// Inference engine for the per-interval score, built once at
+  /// construction from the process-wide backend selection (bit-identical
+  /// to calling model_->predict_proba directly; see ml/infer.h).
+  std::unique_ptr<ml::InferenceBackend> backend_;
   std::vector<sim::Event> events_;
   hpc::Pmu pmu_;
   OnlineConfig cfg_;

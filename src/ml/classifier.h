@@ -20,6 +20,12 @@
 
 namespace hmd::ml {
 
+/// The decision threshold on P(malware): scores at or above it classify as
+/// malware. Every decision path — Classifier::predict, detector_metrics,
+/// the batched inference backends, and the HLS differential oracle — reads
+/// this one constant, so scalar and batched verdicts cannot drift.
+inline constexpr double kDecisionThreshold = 0.5;
+
 /// Structural complexity of a trained model, used for hardware costing.
 struct ModelComplexity {
   std::string kind;             ///< "tree", "rules", "linear", "mlp", ...
@@ -46,9 +52,9 @@ class Classifier {
   /// feature count as the training data.
   virtual double predict_proba(std::span<const double> x) const = 0;
 
-  /// Hard decision at the 0.5 threshold.
+  /// Hard decision at kDecisionThreshold.
   int predict(std::span<const double> x) const {
-    return predict_proba(x) >= 0.5 ? 1 : 0;
+    return predict_proba(x) >= kDecisionThreshold ? 1 : 0;
   }
 
   /// A fresh untrained copy with identical hyper-parameters (used by the

@@ -38,6 +38,7 @@ class J48 final : public Classifier {
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_leaves() const;
   std::size_t depth() const;
+  bool trained() const { return trained_; }
 
   /// Flattened reachable tree (for hardware codegen): index 0 is the root.
   struct FlatNode {

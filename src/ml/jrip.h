@@ -56,6 +56,7 @@ class JRip final : public Classifier {
   };
 
   std::size_t num_rules() const { return rules_.size(); }
+  bool trained() const { return trained_; }
   const std::vector<Rule>& rules() const { return rules_; }
   int target_class() const { return target_; }
   /// P(malware) when no rule fires (valid after train()).

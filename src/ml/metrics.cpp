@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ml/infer.h"
 #include "support/check.h"
 
 namespace hmd::ml {
@@ -125,11 +126,12 @@ double auc(std::span<const double> scores, std::span<const int> labels,
 }
 
 std::vector<double> score_dataset(const Classifier& clf, const Dataset& data) {
-  std::vector<double> scores;
-  scores.reserve(data.num_rows());
-  for (std::size_t i = 0; i < data.num_rows(); ++i)
-    scores.push_back(clf.predict_proba(data.row(i)));
-  return scores;
+  // The grid hot path: build the process-selected inference backend once
+  // for the whole test split and score it as a single batch. Backends are
+  // bit-identical to the scalar walk, so results never depend on the
+  // selection (see ml/infer.h).
+  const auto backend = make_active_backend(clf);
+  return backend->predict_proba_batch(data);
 }
 
 DetectorMetrics detector_metrics(std::span<const double> scores,
@@ -140,7 +142,7 @@ DetectorMetrics detector_metrics(std::span<const double> scores,
   double correct = 0.0, total = 0.0;
   for (std::size_t i = 0; i < scores.size(); ++i) {
     const double w = weights.empty() ? 1.0 : weights[i];
-    const int pred = scores[i] >= 0.5 ? 1 : 0;
+    const int pred = scores[i] >= kDecisionThreshold ? 1 : 0;
     if (pred == labels[i]) correct += w;
     total += w;
   }

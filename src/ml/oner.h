@@ -27,6 +27,7 @@ class OneR final : public Classifier {
   std::string name() const override { return "OneR"; }
   ModelComplexity complexity() const override;
 
+  bool trained() const { return trained_; }
   /// The feature the rule was built on (valid after train()).
   std::size_t chosen_feature() const { return feature_; }
   std::size_t num_buckets() const { return proba_.size(); }

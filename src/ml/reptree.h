@@ -34,6 +34,7 @@ class RepTree final : public Classifier {
   ModelComplexity complexity() const override;
 
   std::size_t num_nodes() const { return nodes_.size(); }
+  bool trained() const { return trained_; }
 
   /// Flattened reachable tree (for hardware codegen); see J48::FlatNode.
   struct FlatNode {

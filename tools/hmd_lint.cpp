@@ -29,6 +29,9 @@
 //        --max-impute R (imputed-cell budget, default 0.10),
 //        --max-train-ms N (soft training-time budget per cell; cells over
 //        budget emit a warning, never a failure — 0 disables, the default),
+//        --max-predict-us N (soft per-sample inference budget per cell,
+//        measured on the flat batched backend over the test split; same
+//        advisory warning semantics as --max-train-ms),
 //        --threads N (workers for capture + grid analysis; default
 //        HMD_THREADS env, else hardware_concurrency — verdicts are
 //        identical for any thread count).
@@ -54,7 +57,8 @@ struct LintArgs {
   double max_mismatch = 0.02;
   double max_quarantine = 0.05;
   double max_impute = 0.10;
-  double max_train_ms = 0.0;  ///< 0 = no training-time budget
+  double max_train_ms = 0.0;    ///< 0 = no training-time budget
+  double max_predict_us = 0.0;  ///< 0 = no per-sample inference budget
 };
 
 LintArgs parse_args(int argc, char** argv) {
@@ -71,6 +75,8 @@ LintArgs parse_args(int argc, char** argv) {
       args.max_impute = std::strtod(argv[i + 1], nullptr);
     if (std::strcmp(argv[i], "--max-train-ms") == 0 && i + 1 < argc)
       args.max_train_ms = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-predict-us") == 0 && i + 1 < argc)
+      args.max_predict_us = std::strtod(argv[i + 1], nullptr);
   }
   return args;
 }
@@ -136,6 +142,30 @@ CellVerdict lint_cell(const hmd::core::ExperimentContext& ctx,
                  std::string(ml::ensemble_kind_name(ensemble)).c_str(),
                  std::string(ml::classifier_kind_name(kind)).c_str(), hpcs,
                  train_ms, args.max_train_ms);
+  }
+
+  // Inference budget, same advisory semantics, sourced from the flat
+  // batched backend — the engine deployment actually runs on.
+  if (args.max_predict_us > 0.0 && test.num_rows() > 0) {
+    const auto backend =
+        ml::make_backend(*detector, ml::InferBackendKind::kFlat);
+    const auto p0 = std::chrono::steady_clock::now();
+    const auto scores = backend->predict_proba_batch(test);
+    const double predict_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - p0)
+            .count() /
+        static_cast<double>(scores.size());
+    if (predict_us > args.max_predict_us) {
+      ++verdict.warnings;
+      std::fprintf(stderr,
+                   "[hmd_lint] warning: %s %s @ %zu HPCs predicts at %.3f "
+                   "us/sample on the %s backend (budget %.3f us)\n",
+                   std::string(ml::ensemble_kind_name(ensemble)).c_str(),
+                   std::string(ml::classifier_kind_name(kind)).c_str(), hpcs,
+                   predict_us, std::string(backend->name()).c_str(),
+                   args.max_predict_us);
+    }
   }
 
   const auto absorb = [&](const analysis::VerifyReport& report,
