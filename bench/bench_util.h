@@ -22,11 +22,13 @@
 //                are byte-identical across this flag (ci.sh diffs them) —
 //                it only changes evaluation speed.
 //
-// CLI error contract: an unknown value for any of these flags, or a flag
-// that names a value but sits last on the command line, reports the
-// problem on stderr and exits 2 — flags are never silently ignored.
+// CLI error contract: an unknown value for any of these flags, a numeric
+// value that is negative or overflows its type, or a flag that names a
+// value but sits last on the command line, reports the problem on stderr
+// and exits 2 — flags are never silently ignored or clamped.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cctype>
 #include <cstdio>
@@ -72,8 +74,11 @@ inline const char* flag_value(const char* flag, int argc, char** argv,
 }
 
 /// Strict decimal parse for seed-style flags: every character must be a
-/// digit. strtoull's permissive parsing ("7x" -> 7, "garbage" -> 0) would
-/// silently run the wrong experiment.
+/// digit (which also rejects negative values), and the value must fit a
+/// uint64. strtoull's permissive parsing ("7x" -> 7, "garbage" -> 0) would
+/// silently run the wrong experiment, and its ERANGE clamp would quietly
+/// turn an overflowing seed into 2^64-1 — report and exit 2 like every
+/// other malformed flag instead.
 inline std::uint64_t parse_u64_flag(const char* flag, const char* text) {
   bool ok = *text != '\0';
   for (const char* p = text; *p != '\0'; ++p)
@@ -84,7 +89,15 @@ inline std::uint64_t parse_u64_flag(const char* flag, const char* text) {
                  text, flag);
     std::exit(2);
   }
-  return std::strtoull(text, nullptr, 10);
+  errno = 0;
+  const std::uint64_t value = std::strtoull(text, nullptr, 10);
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "value '%s' for %s is out of range (max %llu)\n",
+                 text, flag,
+                 static_cast<unsigned long long>(~0ULL));
+    std::exit(2);
+  }
+  return value;
 }
 
 inline core::ExperimentConfig config_from_args(int argc, char** argv) {

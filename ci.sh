@@ -22,6 +22,10 @@
 #      heavy-fault campaign is "killed" (one app checkpoint plus the
 #      quarantined set deleted) and resumed; the resumed fig3 table must be
 #      byte-identical to an uninterrupted run's.
+#   5b. Adversarial leg (3c): the attack/defence sweep runs under
+#      ASan/UBSan with attacked accuracy <= clean accuracy asserted per
+#      cell, and the Release-tree report must be byte-identical at 1 and 4
+#      threads.
 #   6. Inference legs (1c2-1c3): the scalar-vs-flat inference benchmark
 #      must report bit-identical scores in every grid cell, and the fig3
 #      table must be byte-identical whichever backend scores it.
@@ -214,6 +218,51 @@ CKPT_DIR="ckpt-ci"
   grep -q 'apps reused' resume-log.txt
   diff fig3-uninterrupted.txt fig3-resumed.txt
   echo "checkpoint/resume OK: resumed fig3 table is byte-identical"
+)
+
+echo "=== [3c] adversarial robustness: attack sweep under ASan/UBSan ==="
+# The evasion search, retraining, and margin-gate paths run hot loops the
+# clean suite only covers at unit scale; the quick sweep must finish with
+# zero sanitizer reports and a well-formed report in which no cell's
+# attacked accuracy exceeds its clean accuracy (the search only ever
+# accepts score decreases, so a regression here is a determinism or
+# projection bug, not noise).
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ./build-ci-asan/bench/ablation_adversarial --quick \
+    --out build-ci-asan/BENCH_adversarial.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("build-ci-asan/BENCH_adversarial.json") as f:
+    report = json.load(f)
+assert report["bench"] == "ablation_adversarial", report
+assert len(report["budgets"]) == 3, f"expected 3 budgets, got {len(report['budgets'])}"
+cells = 0
+for budget in report["budgets"]:
+    for cell in budget["cells"]:
+        cells += 1
+        assert cell["attacked_accuracy"] <= cell["clean_accuracy"] + 1e-12, (
+            budget["max_rel_delta"], cell)
+        assert 0.0 <= cell["evasion_rate"] <= 1.0, cell
+assert cells > 0, "report has no cells"
+print(f"BENCH_adversarial.json OK: attacked <= clean in all {cells} cells")
+EOF
+else
+  grep -q '"bench": "ablation_adversarial"' build-ci-asan/BENCH_adversarial.json
+  echo "BENCH_adversarial.json OK (grep fallback)"
+fi
+# Determinism of the full sweep (Release tree): the same seed must produce
+# byte-identical reports at 1 and 4 threads.
+(
+  cd build-ci-release
+  rm -f adv-t1.json adv-t4.json
+  ./bench/ablation_adversarial --quick --threads 1 --out adv-t1.json \
+    > /dev/null 2>&1
+  ./bench/ablation_adversarial --quick --threads 4 --out adv-t4.json \
+    > /dev/null 2>&1
+  diff adv-t1.json adv-t4.json
+  echo "ablation_adversarial OK: 1-thread and 4-thread reports byte-identical"
 )
 
 echo "=== [4/4] Debug + HMD_SANITIZE=thread, HMD_THREADS=4 ==="

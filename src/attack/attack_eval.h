@@ -1,0 +1,90 @@
+// Attack evaluation: run an Adversary against whole datasets and live
+// detector streams.
+//
+// Offline, attack_dataset() perturbs every malware row of a test split
+// (the adversary controls its own execution, never the benign workloads)
+// and reports clean vs attacked scores plus the evasion ledger; the
+// perturbed rows are kept so a *different* model can be scored on the same
+// attack (transfer_scores — Kuruvila et al.'s retraining-defence
+// protocol). Online, monitor_application_under_attack() replays the
+// man-in-the-middle variant: the adversary sits between the machine and
+// the OnlineDetector and reshapes each 10 ms interval's counter readings
+// before the detector observes them.
+//
+// Determinism: per-row (and per-interval) searches derive their random
+// streams from the row index (interval number), so results are
+// bit-identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/adversary.h"
+#include "core/online.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace hmd::attack {
+
+/// Outcome of attacking every malware row of one dataset.
+struct DatasetAttackResult {
+  std::vector<double> clean_scores;    ///< per row, model on clean data
+  std::vector<double> attacked_scores; ///< per row (== clean for benign rows)
+  std::vector<std::size_t> attacked_rows;  ///< malware row indices, ascending
+  /// Perturbed feature vectors of the attacked rows, row-major, in
+  /// attacked_rows order (rows the search could not improve stay clean).
+  std::vector<double> perturbed;
+  std::size_t num_features = 0;
+
+  std::size_t malware_rows = 0;
+  std::size_t detected_clean = 0;  ///< malware rows the clean model catches
+  std::size_t evaded = 0;          ///< ... of which the attack flips benign
+
+  /// Fraction of clean-detected malware rows the attack slips past the
+  /// model (0 when the clean model catches nothing).
+  double evasion_rate() const {
+    return detected_clean == 0
+               ? 0.0
+               : static_cast<double>(evaded) /
+                     static_cast<double>(detected_clean);
+  }
+
+  std::span<const double> perturbed_row(std::size_t k) const {
+    return {perturbed.data() + k * num_features, num_features};
+  }
+};
+
+/// Attack every malware row of `data` against `model` (benign rows pass
+/// through untouched). Rows are independent searches seeded by row index,
+/// evaluated on `threads` workers with bit-identical results.
+DatasetAttackResult attack_dataset(const ml::Classifier& model,
+                                   const ml::Dataset& data,
+                                   const PerturbationBudget& budget,
+                                   const EvasionSearchConfig& search,
+                                   std::uint64_t seed,
+                                   std::size_t threads = 1);
+
+/// Score `model` over `data` with the attack's perturbed rows substituted
+/// — a transfer evaluation: perturbations crafted against one model,
+/// scored by another (e.g. its adversarially retrained replacement).
+std::vector<double> transfer_scores(const ml::Classifier& model,
+                                    const ml::Dataset& data,
+                                    const DatasetAttackResult& attack);
+
+/// Paper metrics (accuracy at the 0.5 threshold + AUC) of a score vector
+/// against `data`'s labels and weights.
+ml::DetectorMetrics metrics_of(const ml::Dataset& data,
+                               std::span<const double> scores);
+
+/// Execute `app` with `adversary` reshaping every interval's counter
+/// readings (the detector's events only) before the detector observes
+/// them. The adversary should be built against the same model the detector
+/// scores with — that is the white-box threat model. Intervals stream
+/// seeds from (run_index, interval), so timelines reproduce exactly.
+std::vector<core::Verdict> monitor_application_under_attack(
+    const sim::AppProfile& app, core::OnlineDetector& detector,
+    const Adversary& adversary, sim::MachineConfig machine_cfg = {},
+    std::uint32_t run_index = 0);
+
+}  // namespace hmd::attack

@@ -1,0 +1,97 @@
+#include "attack/defense.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace hmd::attack {
+
+ml::Dataset augment_with_perturbed(const ml::Dataset& train,
+                                   const DatasetAttackResult& attack) {
+  HMD_REQUIRE(attack.num_features == train.num_features());
+  ml::Dataset augmented = train;
+  for (std::size_t k = 0; k < attack.attacked_rows.size(); ++k) {
+    const std::size_t row = attack.attacked_rows[k];
+    const auto perturbed = attack.perturbed_row(k);
+    augmented.add_row(std::vector<double>(perturbed.begin(), perturbed.end()),
+                      1, train.weight(row), train.group(row));
+  }
+  return augmented;
+}
+
+std::unique_ptr<ml::Classifier> adversarial_retrain(
+    const ml::Classifier& baseline, const ml::Dataset& train,
+    ml::ClassifierKind kind, ml::EnsembleKind ensemble,
+    std::uint64_t model_seed, const PerturbationBudget& budget,
+    const EvasionSearchConfig& search, std::uint64_t attack_seed,
+    std::size_t threads) {
+  const DatasetAttackResult train_attack =
+      attack_dataset(baseline, train, budget, search, attack_seed, threads);
+  const ml::Dataset augmented = augment_with_perturbed(train, train_attack);
+  auto hardened = ml::make_detector(kind, ensemble, model_seed);
+  hardened->train(augmented);
+  return hardened;
+}
+
+std::vector<double> margin_defended_scores(const ml::Classifier& model,
+                                           const ml::Dataset& data,
+                                           const DatasetAttackResult& attack,
+                                           const MarginVoteConfig& cfg,
+                                           std::size_t* suspects_out) {
+  HMD_REQUIRE(attack.num_features == data.num_features());
+  HMD_REQUIRE(attack.attacked_scores.size() == data.num_rows());
+  std::vector<double> scores = attack.attacked_scores;
+  std::size_t suspects = 0;
+  if (cfg.suspect_margin > 0.0) {
+    std::size_t k = 0;  // cursor into attacked_rows (ascending)
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      const bool is_attacked =
+          k < attack.attacked_rows.size() && attack.attacked_rows[k] == i;
+      const std::span<const double> x =
+          is_attacked ? attack.perturbed_row(k) : data.row(i);
+      if (is_attacked) ++k;
+      if (model.margin(x) < cfg.suspect_margin) {
+        ++suspects;
+        // Escalate: a low-agreement verdict is treated as malware, ranked
+        // exactly at the decision boundary.
+        scores[i] = std::max(scores[i], ml::kDecisionThreshold);
+      }
+    }
+  }
+  if (suspects_out != nullptr) *suspects_out = suspects;
+  return scores;
+}
+
+AttackCellReport run_attack_cell(const core::ExperimentContext& ctx,
+                                 const core::GridCell& cell,
+                                 const AttackOptions& opts) {
+  const ml::Split& projected = ctx.projected_split(cell.hpcs);
+  const auto detector = ml::make_detector(cell.classifier, cell.ensemble,
+                                          ctx.config.model_seed);
+  detector->train(projected.train);
+
+  // Single-threaded inner attack: the outer grid map is the parallel axis.
+  const DatasetAttackResult attack =
+      attack_dataset(*detector, projected.test, opts.budget, opts.search,
+                     opts.seed, /*threads=*/1);
+
+  AttackCellReport report;
+  report.cell = cell;
+  report.clean = metrics_of(projected.test, attack.clean_scores);
+  report.attacked = metrics_of(projected.test, attack.attacked_scores);
+  report.malware_rows = attack.malware_rows;
+  report.detected_clean = attack.detected_clean;
+  report.evaded = attack.evaded;
+  report.evasion_rate = attack.evasion_rate();
+  return report;
+}
+
+std::vector<AttackCellReport> run_attack_grid(
+    const core::ExperimentContext& ctx, std::span<const core::GridCell> cells,
+    const AttackOptions& opts, std::size_t threads) {
+  return core::map_grid(ctx, cells, threads, [&](const core::GridCell& cell) {
+    return run_attack_cell(ctx, cell, opts);
+  });
+}
+
+}  // namespace hmd::attack

@@ -1,0 +1,106 @@
+// Hardening the detectors against the adversary next door.
+//
+// Two defences, mirroring the literature:
+//
+//   * adversarial retraining (Kuruvila et al.): craft evasions against the
+//     deployed baseline on the TRAINING split, append them as extra
+//     malware rows (the columnar dataset's copy-on-write add_row keeps the
+//     clean split's storage shared and untouched), and fit a fresh
+//     detector on the augmented data. The retrained model is evaluated two
+//     ways — against the baseline's test-set perturbations (transfer: the
+//     attacker has not adapted) and against a fresh evasion search on the
+//     retrained model itself (adaptive: the attacker has);
+//
+//   * perturbation-aware voting: gate every verdict on the ensemble's
+//     margin (member agreement — ml::Classifier::margin). A verdict whose
+//     margin falls below the suspect threshold is escalated to the malware
+//     side of the decision boundary: an evasion must drag the ensemble
+//     *across* 0.5, which leaves the members split, while clean traffic is
+//     normally decided near-unanimously. The same gate runs online as
+//     core::Verdict::suspect.
+//
+// run_attack_cell / run_attack_grid package the offline evaluation the
+// bench and hmd_lint share: train a grid cell, attack its projected test
+// split, report clean vs attacked metrics and the evasion rate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "attack/attack_eval.h"
+#include "core/experiment.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace hmd::attack {
+
+/// Training split plus perturbed copies of its attacked malware rows
+/// (label 1, original row's weight and group). The append is copy-on-write:
+/// the input's storage is shared until the first added row, then cloned, so
+/// callers holding views of `train` are unaffected.
+ml::Dataset augment_with_perturbed(const ml::Dataset& train,
+                                   const DatasetAttackResult& attack);
+
+/// Adversarial retraining: attack `baseline` on `train`, augment with the
+/// perturbed malware rows, and fit a fresh detector (same kind/ensemble/
+/// seed as the cell) on the result. Deterministic given (seed, attack
+/// seed); the training-split attack runs on `threads` workers.
+std::unique_ptr<ml::Classifier> adversarial_retrain(
+    const ml::Classifier& baseline, const ml::Dataset& train,
+    ml::ClassifierKind kind, ml::EnsembleKind ensemble,
+    std::uint64_t model_seed, const PerturbationBudget& budget,
+    const EvasionSearchConfig& search, std::uint64_t attack_seed,
+    std::size_t threads = 1);
+
+/// The margin gate of the perturbation-aware vote.
+struct MarginVoteConfig {
+  /// Verdicts with margin() below this are suspect; 0 disables the gate.
+  double suspect_margin = 0.35;
+};
+
+/// Margin-gated scores over `data` with the attack's perturbed rows
+/// substituted: every row is scored and margin-checked on what the model
+/// actually sees (perturbed for attacked rows, clean otherwise); suspect
+/// rows are escalated to exactly kDecisionThreshold (classified malware,
+/// ranked at the boundary). `suspects_out`, when non-null, receives the
+/// number of escalated rows.
+std::vector<double> margin_defended_scores(const ml::Classifier& model,
+                                           const ml::Dataset& data,
+                                           const DatasetAttackResult& attack,
+                                           const MarginVoteConfig& cfg,
+                                           std::size_t* suspects_out = nullptr);
+
+/// Attack parameters shared by a whole grid evaluation.
+struct AttackOptions {
+  PerturbationBudget budget;
+  EvasionSearchConfig search;
+  std::uint64_t seed = 0xADE5A17ULL;
+};
+
+/// Clean-vs-attacked outcome of one grid cell.
+struct AttackCellReport {
+  core::GridCell cell;
+  ml::DetectorMetrics clean;     ///< baseline on the clean test split
+  ml::DetectorMetrics attacked;  ///< baseline on the perturbed test split
+  std::size_t malware_rows = 0;
+  std::size_t detected_clean = 0;
+  std::size_t evaded = 0;
+  double evasion_rate = 0.0;
+};
+
+/// Train `cell`'s detector on the context's projected split, attack the
+/// test side, and report clean vs attacked metrics. Pure function of
+/// (ctx, cell, opts) — safe to map over the grid.
+AttackCellReport run_attack_cell(const core::ExperimentContext& ctx,
+                                 const core::GridCell& cell,
+                                 const AttackOptions& opts);
+
+/// run_attack_cell over many cells concurrently; results in input order,
+/// bit-identical at any thread count.
+std::vector<AttackCellReport> run_attack_grid(
+    const core::ExperimentContext& ctx, std::span<const core::GridCell> cells,
+    const AttackOptions& opts, std::size_t threads = 0);
+
+}  // namespace hmd::attack

@@ -1,6 +1,7 @@
 #include "core/online.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/experiment.h"
 #include "hpc/capture.h"
@@ -11,16 +12,25 @@ namespace hmd::core {
 OnlineDetector::OnlineDetector(std::shared_ptr<const ml::Classifier> model,
                                std::vector<sim::Event> events,
                                hpc::PmuConfig pmu, OnlineConfig cfg)
-    : model_(std::move(model)),
-      events_(std::move(events)),
-      pmu_(pmu),
-      cfg_(cfg) {
+    : model_(std::move(model)), events_(std::move(events)), cfg_(cfg) {
   HMD_REQUIRE(model_ != nullptr);
   HMD_REQUIRE(!events_.empty());
   backend_ = ml::make_active_backend(*model_);
   HMD_REQUIRE(cfg_.alarm_off <= cfg_.alarm_on);
+  HMD_REQUIRE(cfg_.suspect_margin >= 0.0);
+  held_.assign(events_.size(), 0.0);
+  reprogram(std::move(pmu));
+}
+
+void OnlineDetector::reprogram(hpc::PmuConfig pmu) {
+  pmu_ = hpc::Pmu(std::move(pmu));
+  active_events_.clear();
+  active_pos_.clear();
   // Graceful degradation: events this PMU cannot count are excluded from
-  // programming and fed held values instead of failing deployment.
+  // programming and fed held values instead of failing deployment. On a
+  // re-probe after recovery, events that came back rejoin the programmed
+  // set; their held_ slots refresh on the next real sample. Everything
+  // else — EWMA, alarm, staleness, held values — carries across.
   for (std::size_t i = 0; i < events_.size(); ++i) {
     if (!pmu_.event_available(events_[i])) continue;
     active_events_.push_back(events_[i]);
@@ -28,7 +38,6 @@ OnlineDetector::OnlineDetector(std::shared_ptr<const ml::Classifier> model,
   }
   HMD_REQUIRE_MSG(!active_events_.empty(),
                   "no detector event is available on this PMU");
-  held_.assign(events_.size(), 0.0);
   // The run-time constraint: the detector's (available) events must be
   // concurrently countable — this throws if they exceed the PMU width.
   pmu_.program(active_events_);
@@ -45,6 +54,11 @@ Verdict OnlineDetector::observe(const sim::EventCounts& counts) {
   v.interval = interval_++;
   v.degraded = degraded();
   v.score = backend_->predict_proba(held_);
+  // Perturbation-aware vote: a low-margin (low member-agreement) score is
+  // exactly what a budget-bounded evasion leaves behind — flag it rather
+  // than trusting the raw probability.
+  if (cfg_.suspect_margin > 0.0)
+    v.suspect = model_->margin(held_) < cfg_.suspect_margin;
 
   if (v.interval < cfg_.warmup_intervals) {
     // Cold caches make the first interval(s) unrepresentative.

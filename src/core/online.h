@@ -29,6 +29,12 @@ struct OnlineConfig {
   /// state can no longer be trusted, but the detector must not crash or
   /// silently clear an alarm just because the collector hiccuped.
   std::size_t max_stale_intervals = 8;
+  /// Perturbation-aware vote gate: verdicts whose model margin (member
+  /// agreement for ensembles — ml::Classifier::margin) falls below this
+  /// are flagged `suspect`. An adversary must drag the score across the
+  /// decision boundary, which leaves an ensemble's members split; clean
+  /// traffic is normally decided near-unanimously. 0 disables the gate.
+  double suspect_margin = 0.0;
 };
 
 /// Per-interval verdict from the online detector.
@@ -39,6 +45,10 @@ struct Verdict {
   bool alarm = false;   ///< alarm state after this sample
   bool degraded = false;  ///< some model features fed held values
   bool stale = false;     ///< watchdog: EWMA older than max_stale_intervals
+  /// Margin gate (OnlineConfig::suspect_margin): the model's confidence in
+  /// this interval's score is low — treat the verdict as possibly shaped
+  /// by an adversary. Always false while the gate is disabled.
+  bool suspect = false;
 };
 
 /// Streams PMU samples into a trained classifier.
@@ -69,6 +79,15 @@ class OnlineDetector {
 
   /// Reset the EWMA/alarm/staleness state (e.g. a new application).
   void reset();
+
+  /// Reprogram the PMU against a (possibly changed) availability mask —
+  /// the recovery path out of degraded operation: when counters that were
+  /// broken at construction come back (a collector restart, a microcode
+  /// fix), the detector re-probes which of its events are countable and
+  /// reprograms the registers, while the EWMA, alarm, staleness, and held
+  /// feature values all carry across the transition — recovery must not
+  /// silently clear an alarm or forget the last trusted state.
+  void reprogram(hpc::PmuConfig pmu);
 
   const std::vector<sim::Event>& events() const { return events_; }
   /// The subset of events() actually programmed on this PMU.

@@ -95,6 +95,17 @@ double AdaBoostM1::predict_proba(std::span<const double> x) const {
   return vote_all > 0.0 ? vote_pos / vote_all : 0.5;
 }
 
+double AdaBoostM1::margin(std::span<const double> x) const {
+  HMD_REQUIRE_MSG(trained_, "AdaBoostM1::train() must be called first");
+  double vote_pos = 0.0, vote_all = 0.0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    vote_all += alpha_[i];
+    if (members_[i]->predict(x) == 1) vote_pos += alpha_[i];
+  }
+  if (vote_all <= 0.0) return 0.0;
+  return std::abs(2.0 * vote_pos - vote_all) / vote_all;
+}
+
 std::unique_ptr<Classifier> AdaBoostM1::clone_untrained() const {
   return std::make_unique<AdaBoostM1>(prototype_->clone_untrained(),
                                       iterations_, seed_, resample_);

@@ -30,6 +30,11 @@ class AdaBoostM1 final : public Classifier {
 
   void train(const Dataset& data) override;
   double predict_proba(std::span<const double> x) const override;
+  /// Alpha-weighted vote margin: |vote(malware) − vote(benign)| / vote(all).
+  /// Identical to the default |2p−1| here (the proba IS the vote fraction)
+  /// but computed from the votes directly, documenting the agreement
+  /// semantics the margin-gated defence relies on.
+  double margin(std::span<const double> x) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
   std::string name() const override;
   ModelComplexity complexity() const override;

@@ -1,6 +1,7 @@
 #include "ml/bagging.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.h"
 #include "support/rng.h"
@@ -33,6 +34,15 @@ double Bagging::predict_proba(std::span<const double> x) const {
   double acc = 0.0;
   for (const auto& m : members_) acc += m->predict_proba(x);
   return acc / static_cast<double>(members_.size());
+}
+
+double Bagging::margin(std::span<const double> x) const {
+  HMD_REQUIRE_MSG(trained_, "Bagging::train() must be called first");
+  std::size_t votes = 0;
+  for (const auto& m : members_) votes += m->predict(x) == 1 ? 1u : 0u;
+  const double frac =
+      static_cast<double>(votes) / static_cast<double>(members_.size());
+  return std::abs(2.0 * frac - 1.0);
 }
 
 std::unique_ptr<Classifier> Bagging::clone_untrained() const {

@@ -22,6 +22,12 @@ class Bagging final : public Classifier {
 
   void train(const Dataset& data) override;
   double predict_proba(std::span<const double> x) const override;
+  /// Member agreement, not the averaged probability: |2·(hard malware
+  /// votes / members) − 1|. An attacked sample that drags the *average*
+  /// under 0.5 usually leaves the members split near 50/50, so this margin
+  /// collapses even when |2p−1| of the averaged proba does not — exactly
+  /// the signal the perturbation-aware vote defence gates on.
+  double margin(std::span<const double> x) const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
   std::string name() const override;
   ModelComplexity complexity() const override;

@@ -11,6 +11,7 @@
 //     the hw library converts into FPGA area/latency (paper Table 3).
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <span>
 #include <string>
@@ -55,6 +56,17 @@ class Classifier {
   /// Hard decision at kDecisionThreshold.
   int predict(std::span<const double> x) const {
     return predict_proba(x) >= kDecisionThreshold ? 1 : 0;
+  }
+
+  /// Confidence of the decision in [0, 1]: 0 at the decision boundary, 1
+  /// when the model is certain. The default is the probability margin
+  /// |2·P(malware) − 1|; ensembles override it with their members'
+  /// *agreement* (fraction of hard votes backing the verdict), which is
+  /// the signal the perturbation-aware vote defence gates on — an evasion
+  /// that drags the ensemble across the 0.5 boundary almost always leaves
+  /// the members split, even when the averaged probability looks settled.
+  virtual double margin(std::span<const double> x) const {
+    return std::abs(2.0 * predict_proba(x) - 1.0);
   }
 
   /// A fresh untrained copy with identical hyper-parameters (used by the

@@ -1,0 +1,380 @@
+// Contract tests for the adversarial counter-perturbation layer
+// (src/attack/): the budget box must be respected exactly (non-negative,
+// per-event capped, integer-aligned, L1-coupled), the evasion search must
+// be deterministic and monotone (an attacked score is never above the
+// clean one), dataset attacks must be bit-identical at any thread count,
+// and both defences — adversarial retraining and margin-gated voting —
+// must honour their documented semantics offline and online.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/adversary.h"
+#include "attack/attack_eval.h"
+#include "attack/defense.h"
+#include "core/online.h"
+#include "ml/classifier.h"
+#include "ml/infer.h"
+#include "ml/metrics.h"
+#include "sim/workloads.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace hmd::attack {
+namespace {
+
+/// Counter-shaped data: non-negative integer readings, class 0 low-rate,
+/// class 1 (malware) high-rate — the attack layer's native habitat, unlike
+/// the signed gaussian_blobs the classifier tests use.
+ml::Dataset counter_blobs(std::size_t n_per_class, std::size_t num_features,
+                          std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < num_features; ++f)
+    names.push_back("e" + std::to_string(f));
+  ml::Dataset data(std::move(names));
+  Rng rng(seed);
+  for (int cls = 0; cls <= 1; ++cls) {
+    const double centre = cls == 0 ? 200.0 : 800.0;
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      std::vector<double> row;
+      for (std::size_t f = 0; f < num_features; ++f)
+        row.push_back(std::floor(std::max(0.0, rng.gaussian(centre, 120.0))));
+      data.add_row(std::move(row), cls, 1.0,
+                   static_cast<std::size_t>(cls) * 1000 + i / 8);
+    }
+  }
+  return data;
+}
+
+std::unique_ptr<ml::Classifier> trained_detector(
+    const ml::Dataset& data, ml::EnsembleKind ensemble = ml::EnsembleKind::kAdaBoost) {
+  auto clf = ml::make_detector(ml::ClassifierKind::kJ48, ensemble, 7);
+  clf->train(data);
+  return clf;
+}
+
+// ---------------------------------------------------------------------------
+// Budget model.
+
+TEST(Budget, EventCapCombinesAbsoluteAndRelative) {
+  const PerturbationBudget budget{8.0, 0.05, 0.0, true};
+  EXPECT_DOUBLE_EQ(budget.event_cap(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(budget.event_cap(1000.0), 58.0);
+  EXPECT_FALSE(budget.empty());
+  EXPECT_TRUE((PerturbationBudget{0.0, 0.0, 0.0, true}).empty());
+}
+
+TEST(Budget, DescribeMentionsTheLattice) {
+  PerturbationBudget budget{8.0, 0.05, 0.0, true};
+  EXPECT_NE(describe_budget(budget).find("integer"), std::string::npos);
+  budget.integer_counts = false;
+  EXPECT_NE(describe_budget(budget).find("continuous"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The evasion search's hard invariants.
+
+TEST(Adversary, PerturbationsStayInsideTheBudgetBox) {
+  const auto data = counter_blobs(40, 4, 11);
+  const auto clf = trained_detector(data);
+  const PerturbationBudget budget{8.0, 0.05, 0.0, true};
+  const Adversary adversary(*clf, budget);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    if (data.label(i) != 1) continue;
+    const auto row = data.row(i);
+    const EvasionResult ev = adversary.evade(row, i);
+    ASSERT_EQ(ev.x.size(), row.size());
+    double l1 = 0.0;
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      const double delta = std::abs(ev.x[f] - row[f]);
+      EXPECT_LE(delta, budget.event_cap(row[f]) + 1e-9)
+          << "row " << i << " feature " << f;
+      EXPECT_GE(ev.x[f], 0.0) << "counters cannot go negative";
+      EXPECT_EQ(ev.x[f], std::floor(ev.x[f]))
+          << "integer_counts demands lattice points";
+      l1 += delta;
+    }
+    EXPECT_NEAR(ev.spent, l1, 1e-9);
+  }
+}
+
+TEST(Adversary, TotalBudgetCapsTheL1Spend) {
+  const auto data = counter_blobs(40, 4, 11);
+  const auto clf = trained_detector(data);
+  const PerturbationBudget budget{50.0, 0.10, 30.0, true};
+  const Adversary adversary(*clf, budget);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    if (data.label(i) != 1) continue;
+    const EvasionResult ev = adversary.evade(data.row(i), i);
+    double l1 = 0.0;
+    for (std::size_t f = 0; f < ev.x.size(); ++f)
+      l1 += std::abs(ev.x[f] - data.row(i)[f]);
+    EXPECT_LE(l1, budget.total_budget + 1e-9) << "row " << i;
+  }
+}
+
+TEST(Adversary, AttackedScoreNeverAboveClean) {
+  const auto data = counter_blobs(40, 4, 13);
+  const auto clf = trained_detector(data);
+  const Adversary adversary(*clf, {8.0, 0.05, 0.0, true});
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const EvasionResult ev = adversary.evade(data.row(i), i);
+    EXPECT_LE(ev.score, ev.clean_score) << "row " << i;
+    if (ev.evaded) {
+      EXPECT_GE(ev.clean_score, ml::kDecisionThreshold);
+      EXPECT_LT(ev.score, ml::kDecisionThreshold);
+    }
+  }
+}
+
+TEST(Adversary, EvadeIsAPureFunctionOfSeedAndStream) {
+  const auto data = counter_blobs(30, 4, 17);
+  const auto clf = trained_detector(data);
+  const Adversary adversary(*clf, {8.0, 0.05, 0.0, true});
+  const auto row = data.row(data.num_rows() - 1);
+  const EvasionResult a = adversary.evade(row, 42);
+  const EvasionResult b = adversary.evade(row, 42);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.spent, b.spent);
+}
+
+TEST(Adversary, EmptyBudgetIsTheIdentity) {
+  const auto data = counter_blobs(30, 4, 19);
+  const auto clf = trained_detector(data);
+  const Adversary adversary(*clf, {0.0, 0.0, 0.0, true});
+  const auto row = data.row(0);
+  const EvasionResult ev = adversary.evade(row, 0);
+  EXPECT_EQ(ev.x, std::vector<double>(row.begin(), row.end()));
+  EXPECT_EQ(ev.score, ev.clean_score);
+  EXPECT_EQ(ev.spent, 0.0);
+  EXPECT_FALSE(ev.evaded);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset-level attacks.
+
+TEST(AttackDataset, BitIdenticalAcrossThreadCounts) {
+  const auto data = counter_blobs(40, 4, 23);
+  const auto clf = trained_detector(data);
+  const PerturbationBudget budget{8.0, 0.05, 0.0, true};
+  const DatasetAttackResult one =
+      attack_dataset(*clf, data, budget, {}, 0xADE5A17ULL, 1);
+  const DatasetAttackResult four =
+      attack_dataset(*clf, data, budget, {}, 0xADE5A17ULL, 4);
+  EXPECT_EQ(one.attacked_scores, four.attacked_scores);
+  EXPECT_EQ(one.perturbed, four.perturbed);
+  EXPECT_EQ(one.attacked_rows, four.attacked_rows);
+  EXPECT_EQ(one.evaded, four.evaded);
+}
+
+TEST(AttackDataset, BenignRowsPassThroughUntouched) {
+  const auto data = counter_blobs(40, 4, 29);
+  const auto clf = trained_detector(data);
+  const DatasetAttackResult attack =
+      attack_dataset(*clf, data, {8.0, 0.05, 0.0, true}, {}, 1, 1);
+  ASSERT_EQ(attack.clean_scores.size(), data.num_rows());
+  std::size_t malware = 0;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    if (data.label(i) == 0) {
+      EXPECT_EQ(attack.attacked_scores[i], attack.clean_scores[i]);
+    } else {
+      ++malware;
+      EXPECT_LE(attack.attacked_scores[i], attack.clean_scores[i]);
+    }
+  }
+  EXPECT_EQ(attack.malware_rows, malware);
+  EXPECT_EQ(attack.attacked_rows.size(), malware);
+  for (const std::size_t row : attack.attacked_rows)
+    EXPECT_EQ(data.label(row), 1);
+}
+
+TEST(AttackDataset, TransferToTheSameModelReproducesAttackedScores) {
+  const auto data = counter_blobs(40, 4, 31);
+  const auto clf = trained_detector(data);
+  const DatasetAttackResult attack =
+      attack_dataset(*clf, data, {8.0, 0.05, 0.0, true}, {}, 1, 1);
+  EXPECT_EQ(transfer_scores(*clf, data, attack), attack.attacked_scores);
+}
+
+TEST(AttackDataset, AttackedAccuracyNeverAboveClean) {
+  const auto data = counter_blobs(40, 4, 37);
+  const auto clf = trained_detector(data);
+  const DatasetAttackResult attack =
+      attack_dataset(*clf, data, {8.0, 0.10, 0.0, true}, {}, 1, 1);
+  const ml::DetectorMetrics clean = metrics_of(data, attack.clean_scores);
+  const ml::DetectorMetrics attacked = metrics_of(data, attack.attacked_scores);
+  EXPECT_LE(attacked.accuracy, clean.accuracy);
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble margins — the signal the vote gate runs on.
+
+TEST(Margin, DefaultIsDistanceFromTheDecisionBoundary) {
+  const auto data = counter_blobs(30, 3, 41);
+  const auto clf = trained_detector(data, ml::EnsembleKind::kGeneral);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto row = data.row(i);
+    EXPECT_EQ(clf->margin(row),
+              std::abs(2.0 * clf->predict_proba(row) - 1.0));
+  }
+}
+
+TEST(Margin, EnsembleAgreementStaysInUnitRange) {
+  const auto data = counter_blobs(30, 3, 43);
+  for (const ml::EnsembleKind ensemble :
+       {ml::EnsembleKind::kAdaBoost, ml::EnsembleKind::kBagging}) {
+    const auto clf = trained_detector(data, ensemble);
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      const double m = clf->margin(data.row(i));
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Defences.
+
+TEST(Defense, AugmentAppendsPerturbedMalwareCopyOnWrite) {
+  const auto train = counter_blobs(40, 4, 47);
+  const auto clf = trained_detector(train);
+  const DatasetAttackResult attack =
+      attack_dataset(*clf, train, {8.0, 0.05, 0.0, true}, {}, 1, 1);
+  // Snapshot the clean split before augmenting.
+  std::vector<double> before;
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    const auto row = train.row(i);
+    before.insert(before.end(), row.begin(), row.end());
+  }
+
+  const ml::Dataset augmented = augment_with_perturbed(train, attack);
+  ASSERT_EQ(augmented.num_rows(),
+            train.num_rows() + attack.attacked_rows.size());
+  for (std::size_t k = 0; k < attack.attacked_rows.size(); ++k) {
+    const std::size_t i = train.num_rows() + k;
+    EXPECT_EQ(augmented.label(i), 1);
+    const auto got = augmented.row(i);
+    const auto want = attack.perturbed_row(k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t f = 0; f < got.size(); ++f) EXPECT_EQ(got[f], want[f]);
+    EXPECT_EQ(augmented.weight(i), train.weight(attack.attacked_rows[k]));
+    EXPECT_EQ(augmented.group(i), train.group(attack.attacked_rows[k]));
+  }
+  // Copy-on-write: the original split is untouched by the append.
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < train.num_rows(); ++i)
+    for (const double v : train.row(i)) EXPECT_EQ(v, before[pos++]);
+}
+
+TEST(Defense, AdversarialRetrainIsDeterministic) {
+  const auto train = counter_blobs(30, 4, 53);
+  const auto test = counter_blobs(20, 4, 59);
+  const auto baseline = trained_detector(train);
+  const PerturbationBudget budget{8.0, 0.05, 0.0, true};
+  const auto a = adversarial_retrain(*baseline, train, ml::ClassifierKind::kJ48,
+                                     ml::EnsembleKind::kAdaBoost, 7, budget, {},
+                                     0xADE5A17ULL, 1);
+  const auto b = adversarial_retrain(*baseline, train, ml::ClassifierKind::kJ48,
+                                     ml::EnsembleKind::kAdaBoost, 7, budget, {},
+                                     0xADE5A17ULL, 2);
+  EXPECT_EQ(ml::score_dataset(*a, test), ml::score_dataset(*b, test));
+}
+
+TEST(Defense, MarginGateEscalatesSuspectsToTheBoundary) {
+  const auto data = counter_blobs(40, 4, 61);
+  const auto clf = trained_detector(data);
+  const DatasetAttackResult attack =
+      attack_dataset(*clf, data, {8.0, 0.10, 0.0, true}, {}, 1, 1);
+
+  // Gate disabled: margin_defended_scores is exactly the transfer scores.
+  std::size_t suspects = 0;
+  EXPECT_EQ(margin_defended_scores(*clf, data, attack, {0.0}, &suspects),
+            attack.attacked_scores);
+  EXPECT_EQ(suspects, 0u);
+
+  // Margins live in [0, 1], so a threshold above 1 flags every row: all
+  // scores must land at or above the decision threshold.
+  const auto defended =
+      margin_defended_scores(*clf, data, attack, {1.5}, &suspects);
+  EXPECT_EQ(suspects, data.num_rows());
+  for (std::size_t i = 0; i < defended.size(); ++i) {
+    EXPECT_GE(defended[i], ml::kDecisionThreshold) << "row " << i;
+    EXPECT_GE(defended[i], attack.attacked_scores[i]) << "never lowers";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Online: the man-in-the-middle stream and the suspect gate.
+
+std::shared_ptr<const ml::Classifier> online_model() {
+  const auto data = testutil::gaussian_blobs(50, 4, 0, 1.4, 41);
+  auto clf = ml::make_detector(ml::ClassifierKind::kJ48,
+                               ml::EnsembleKind::kBagging, 7);
+  clf->train(data);
+  return std::shared_ptr<const ml::Classifier>(std::move(clf));
+}
+
+const std::vector<sim::Event> kOnlineEvents{
+    sim::Event::kBranchInstructions, sim::Event::kBranchMisses,
+    sim::Event::kCacheMisses, sim::Event::kInstructions};
+
+TEST(AttackOnline, PerIntervalScoresNeverAboveTheCleanRun) {
+  const auto model = online_model();
+  const auto app = sim::make_malware(0, 3, 77, 8);
+  core::OnlineDetector clean_det(model, kOnlineEvents);
+  const auto clean = core::monitor_application(app, clean_det);
+
+  const Adversary adversary(*model, {100.0, 0.10, 0.0, true});
+  core::OnlineDetector attacked_det(model, kOnlineEvents);
+  const auto attacked =
+      monitor_application_under_attack(app, attacked_det, adversary);
+
+  ASSERT_EQ(attacked.size(), clean.size());
+  for (std::size_t i = 0; i < attacked.size(); ++i) {
+    EXPECT_LE(attacked[i].score, clean[i].score) << "interval " << i;
+    EXPECT_LE(attacked[i].ewma, clean[i].ewma) << "interval " << i;
+  }
+}
+
+TEST(AttackOnline, TimelineIsReproducible) {
+  const auto model = online_model();
+  const auto app = sim::make_malware(1, 2, 99, 6);
+  const Adversary adversary(*model, {100.0, 0.10, 0.0, true});
+  const auto run = [&] {
+    core::OnlineDetector det(model, kOnlineEvents);
+    return monitor_application_under_attack(app, det, adversary);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].ewma, b[i].ewma);
+    EXPECT_EQ(a[i].alarm, b[i].alarm);
+  }
+}
+
+TEST(AttackOnline, SuspectGateFollowsTheConfiguredMargin) {
+  const auto model = online_model();
+  const auto app = sim::make_malware(0, 1, 55, 6);
+
+  // Disabled (the default): no verdict is ever suspect.
+  core::OnlineDetector off(model, kOnlineEvents);
+  for (const auto& v : core::monitor_application(app, off))
+    EXPECT_FALSE(v.suspect);
+
+  // A threshold above the margin's unit range flags every interval.
+  core::OnlineConfig cfg;
+  cfg.suspect_margin = 1.5;
+  core::OnlineDetector on(model, kOnlineEvents, {}, cfg);
+  for (const auto& v : core::monitor_application(app, on))
+    EXPECT_TRUE(v.suspect);
+}
+
+}  // namespace
+}  // namespace hmd::attack

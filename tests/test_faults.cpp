@@ -471,5 +471,108 @@ TEST(OnlineFaults, AllEventsUnavailableIsFatal) {
                PreconditionError);
 }
 
+// ---------------------------------------------------------------------------
+// Online detector: recovery transitions (stale -> healthy, degraded ->
+// healthy). Entering the degraded/stale states is covered above; these
+// prove the way *back* keeps the EWMA, alarm, and held state honest.
+
+TEST(OnlineRecovery, StaleToHealthyKeepsEwmaAcrossTheGap) {
+  core::OnlineConfig cfg = sharp_online();
+  cfg.ewma_alpha = 0.5;  // partial smoothing, so the gap is observable
+  core::OnlineDetector det(std::make_shared<FixedScorer>(),
+                           {sim::Event::kInstructions}, hpc::PmuConfig{},
+                           cfg);
+
+  const auto before = det.observe(counts_with_instructions(900));  // 0.9
+  EXPECT_DOUBLE_EQ(before.ewma, 0.9);  // first sample initialises the EWMA
+  EXPECT_TRUE(before.alarm);
+
+  // Past the watchdog: verdicts go stale but hold the last trusted state.
+  for (std::size_t i = 0; i < 4; ++i) det.observe_missing();
+  EXPECT_TRUE(det.stale());
+  EXPECT_TRUE(det.alarmed());
+
+  // Counters return. The recovery verdict must not be stale, and its EWMA
+  // must blend the new score into the *held* pre-gap state — 0.5·0.1 +
+  // 0.5·0.9 — not restart from the new score (which would be 0.1).
+  const auto recovered = det.observe(counts_with_instructions(100));
+  EXPECT_FALSE(recovered.stale);
+  EXPECT_EQ(det.missing_streak(), 0u);
+  EXPECT_DOUBLE_EQ(recovered.ewma, 0.5 * 0.1 + 0.5 * 0.9);
+  EXPECT_TRUE(recovered.alarm);  // 0.5 is above alarm_off = 0.4: no clear
+
+  // A healthy run of low scores decays the EWMA and clears the alarm
+  // through the normal hysteresis, not through the recovery itself.
+  const auto settled = det.observe(counts_with_instructions(100));
+  EXPECT_FALSE(settled.stale);
+  EXPECT_DOUBLE_EQ(settled.ewma, 0.5 * 0.1 + 0.5 * recovered.ewma);
+  EXPECT_FALSE(settled.alarm);  // 0.3 <= alarm_off
+}
+
+/// Two-feature scorer, so a held (degraded) feature visibly changes the
+/// score: P = clamp((x0 + x1) / 2000).
+class MeanScorer : public ml::Classifier {
+ public:
+  void train(const ml::Dataset&) override {}
+  double predict_proba(std::span<const double> x) const override {
+    return std::clamp((x[0] + x[1]) / 2000.0, 0.0, 1.0);
+  }
+  std::unique_ptr<ml::Classifier> clone_untrained() const override {
+    return std::make_unique<MeanScorer>();
+  }
+  std::string name() const override { return "Mean"; }
+  ml::ModelComplexity complexity() const override { return {}; }
+};
+
+TEST(OnlineRecovery, DegradedToHealthyViaReprogramKeepsAlarmAndEwma) {
+  core::OnlineConfig cfg = sharp_online();
+  cfg.ewma_alpha = 0.5;
+  hpc::PmuConfig broken;
+  broken.unavailable_events = {sim::Event::kCacheMisses};
+  core::OnlineDetector det(
+      std::make_shared<MeanScorer>(),
+      {sim::Event::kInstructions, sim::Event::kCacheMisses}, broken, cfg);
+  EXPECT_TRUE(det.degraded());
+
+  // Degraded: the unavailable feature feeds its held 0, so 1800 alone
+  // scores 0.9, raising the alarm.
+  sim::EventCounts counts = counts_with_instructions(1800);
+  counts[sim::Event::kCacheMisses] = 1800;
+  const auto degraded = det.observe(counts);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_DOUBLE_EQ(degraded.score, 0.9);
+  EXPECT_TRUE(degraded.alarm);
+
+  // The counter comes back (collector restart): re-probe and reprogram.
+  det.reprogram(hpc::PmuConfig{});
+  EXPECT_FALSE(det.degraded());
+  ASSERT_EQ(det.active_events().size(), 2u);
+
+  // Recovery must carry the alarm and EWMA across the transition, and the
+  // first healthy sample refreshes the previously-held feature: both
+  // events now contribute, scoring (400 + 400) / 2000 = 0.4.
+  EXPECT_TRUE(det.alarmed());
+  sim::EventCounts healthy = counts_with_instructions(400);
+  healthy[sim::Event::kCacheMisses] = 400;
+  const auto recovered = det.observe(healthy);
+  EXPECT_FALSE(recovered.degraded);
+  EXPECT_DOUBLE_EQ(recovered.score, 0.4);
+  EXPECT_DOUBLE_EQ(recovered.ewma, 0.5 * 0.4 + 0.5 * 0.9);
+  EXPECT_TRUE(recovered.alarm);  // 0.65 is still above alarm_off
+
+  const auto cleared = det.observe(counts_with_instructions(0));
+  EXPECT_DOUBLE_EQ(cleared.ewma, 0.5 * 0.0 + 0.5 * recovered.ewma);
+  EXPECT_FALSE(cleared.alarm);  // 0.325 <= alarm_off = 0.4
+}
+
+TEST(OnlineRecovery, ReprogramToNoAvailableEventsIsFatal) {
+  core::OnlineDetector det(std::make_shared<FixedScorer>(),
+                           {sim::Event::kInstructions}, hpc::PmuConfig{},
+                           sharp_online());
+  hpc::PmuConfig dead;
+  dead.unavailable_events = {sim::Event::kInstructions};
+  EXPECT_THROW(det.reprogram(dead), PreconditionError);
+}
+
 }  // namespace
 }  // namespace hmd

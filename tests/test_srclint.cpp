@@ -328,3 +328,60 @@ TEST(SrclintSelfHost, TheRepositoryTreeIsClean) {
                               << "] " << v.snippet;
   for (const std::string& e : report.errors) ADD_FAILURE() << e;
 }
+
+// ---------------------------------------------------------------------------
+// src/attack coverage: the adversary is the one subsystem whose *product*
+// is randomness, so it is exactly where a future contributor is most
+// tempted to seed from the wall clock "for a stronger attack". The
+// rng-construct and wall-clock rules have no allowlist entry for
+// src/attack (only src/support/rng.h and bench_util.h respectively), so
+// both must fire there like anywhere else in src/.
+
+TEST(SrclintAttackDir, WallClockSeededGeneratorFiresBothRules) {
+  // The classic anti-pattern, placed in the attack subsystem: a std
+  // generator seeded from the wall clock. Non-reproducible evasion results
+  // would silently break the bench's byte-identity contract.
+  const auto result = srclint_scan_source(
+      "src/attack/fuzzer.cpp",
+      "#include <chrono>\n"
+      "#include <random>\n"
+      "std::mt19937 gen(static_cast<unsigned>(\n"
+      "    std::chrono::system_clock::now().time_since_epoch().count()));\n");
+  const std::vector<std::string> ids = fired(result);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "rng-construct"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "wall-clock"), ids.end());
+}
+
+TEST(SrclintAttackDir, RandAndRandomDeviceFireInAttackSources) {
+  EXPECT_EQ(fired(srclint_scan_source("src/attack/adversary.cpp",
+                                      "int r = rand();\n")),
+            std::vector<std::string>{"rng-construct"});
+  EXPECT_EQ(fired(srclint_scan_source("src/attack/search.h",
+                                      "std::random_device rd;\n")),
+            std::vector<std::string>{"rng-construct"});
+}
+
+TEST(SrclintAttackDir, SeededSupportRngIsTheSanctionedIdiom) {
+  // The shape src/attack actually uses: an explicit seed, forked per
+  // stream. Nothing to flag.
+  EXPECT_TRUE(srclint_scan_source(
+                  "src/attack/adversary.cpp",
+                  "Rng base(seed_);\n"
+                  "Rng rng = base.fork(stream);\n"
+                  "double u = rng.uniform();\n")
+                  .violations.empty());
+}
+
+TEST(SrclintAttackDir, TreeScanDiscoversAttackSources) {
+  const std::string root = scratch_tree("attack_tree");
+  write_file(root, "src/attack/evil.cpp",
+             "#include <random>\n"
+             "std::default_random_engine e;\n");
+  write_file(root, "src/attack/clean.cpp", "int f() { return 1; }\n");
+  const SrclintReport report = srclint_scan_tree(root, 1);
+  EXPECT_EQ(report.files.size(), 2u);
+  EXPECT_EQ(report.unsuppressed(), 1u);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "rng-construct");
+  EXPECT_EQ(report.violations[0].file, "src/attack/evil.cpp");
+}

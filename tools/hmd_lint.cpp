@@ -32,9 +32,15 @@
 //        --max-predict-us N (soft per-sample inference budget per cell,
 //        measured on the flat batched backend over the test split; same
 //        advisory warning semantics as --max-train-ms),
+//        --max-evasion-rate R (attack-resilience budget: every cell's test
+//        split is attacked by the src/attack evasion search under a fixed
+//        per-event budget; a cell whose evasion rate exceeds R fails, with
+//        the same exit-1 semantics as the capture budgets — 0 disables,
+//        the default),
 //        --threads N (workers for capture + grid analysis; default
 //        HMD_THREADS env, else hardware_concurrency — verdicts are
-//        identical for any thread count).
+//        identical for any thread count),
+//        --help (usage).
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -44,6 +50,7 @@
 
 #include "analysis/hls_checker.h"
 #include "analysis/model_verifier.h"
+#include "attack/attack_eval.h"
 #include "bench_util.h"
 #include "core/experiment.h"
 #include "hw/hls_codegen.h"
@@ -59,10 +66,52 @@ struct LintArgs {
   double max_impute = 0.10;
   double max_train_ms = 0.0;    ///< 0 = no training-time budget
   double max_predict_us = 0.0;  ///< 0 = no per-sample inference budget
+  double max_evasion = 0.0;     ///< 0 = no attack-resilience budget
 };
+
+void print_help() {
+  std::cout <<
+      "hmd_lint — model-integrity static analysis across the experiment "
+      "grid\n"
+      "\n"
+      "Trains the full 8 x {General, AdaBoost, Bagging} x {16,8,4,2} grid\n"
+      "and lints every cell (structural verification, HLS contract +\n"
+      "differential check, optional budgets). Exits 1 if any cell fails or\n"
+      "any hard budget is exceeded.\n"
+      "\n"
+      "Shared flags (bench_util): --quick, --seed N, --threads N,\n"
+      "  --faults none|light|heavy, --fault-seed N, --checkpoint DIR,\n"
+      "  --resume, --backend scalar|flat\n"
+      "\n"
+      "Lint flags:\n"
+      "  --fraction-bits B     fixed-point fraction bits (default 8)\n"
+      "  --max-mismatch R      HLS differential tolerance (default 0.02)\n"
+      "  --max-quarantine R    quarantined-app budget (default 0.05); over\n"
+      "                        budget is a hard failure\n"
+      "  --max-impute R        imputed-cell budget (default 0.10); hard\n"
+      "  --max-train-ms N      per-cell training-time budget; advisory\n"
+      "                        warning only (0 disables, the default)\n"
+      "  --max-predict-us N    per-sample inference budget on the flat\n"
+      "                        backend; advisory (0 disables, the default)\n"
+      "  --max-evasion-rate R  attack-resilience budget: each cell's test\n"
+      "                        split is attacked by the src/attack evasion\n"
+      "                        search (abs 8 / rel 5% per-event budget,\n"
+      "                        fixed seed); a cell whose evasion rate —\n"
+      "                        detected malware rows flipped benign —\n"
+      "                        exceeds R fails, with the same exit-1\n"
+      "                        semantics as the capture budgets\n"
+      "                        (0 disables, the default)\n"
+      "  --help                this text\n";
+}
 
 LintArgs parse_args(int argc, char** argv) {
   LintArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_help();
+      std::exit(0);
+    }
+  }
   args.config = hmd::benchutil::config_from_args(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fraction-bits") == 0 && i + 1 < argc)
@@ -77,6 +126,8 @@ LintArgs parse_args(int argc, char** argv) {
       args.max_train_ms = std::strtod(argv[i + 1], nullptr);
     if (std::strcmp(argv[i], "--max-predict-us") == 0 && i + 1 < argc)
       args.max_predict_us = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-evasion-rate") == 0 && i + 1 < argc)
+      args.max_evasion = std::strtod(argv[i + 1], nullptr);
   }
   return args;
 }
@@ -165,6 +216,28 @@ CellVerdict lint_cell(const hmd::core::ExperimentContext& ctx,
                    std::string(ml::classifier_kind_name(kind)).c_str(), hpcs,
                    predict_us, std::string(backend->name()).c_str(),
                    args.max_predict_us);
+    }
+  }
+
+  // Attack-resilience budget: a hard failure, like the capture budgets —
+  // a detector whose detected malware is trivially evadable under a small
+  // perturbation budget is not deployable, whatever its clean accuracy.
+  if (args.max_evasion > 0.0 && test.num_rows() > 0) {
+    attack::PerturbationBudget budget;
+    budget.max_abs_delta = 8.0;
+    budget.max_rel_delta = 0.05;
+    const attack::DatasetAttackResult attacked = attack::attack_dataset(
+        *detector, test, budget, attack::EvasionSearchConfig{},
+        /*seed=*/0xADE5A17ULL, /*threads=*/1);
+    if (attacked.evasion_rate() > args.max_evasion) {
+      verdict.pass = false;
+      ++verdict.errors;
+      detail << "  [attack-resilience] evasion rate "
+             << hmd::TextTable::num(100.0 * attacked.evasion_rate(), 2)
+             << "% (" << attacked.evaded << "/" << attacked.detected_clean
+             << " detected malware rows flipped under "
+             << attack::describe_budget(budget) << ") > budget "
+             << hmd::TextTable::num(100.0 * args.max_evasion, 2) << "%\n";
     }
   }
 
