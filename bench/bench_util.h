@@ -22,6 +22,11 @@
 //                are byte-identical across this flag (ci.sh diffs them) —
 //                it only changes evaluation speed.
 //
+// Serving benches (bench/serve) additionally share, via serve_args:
+//   --hosts N        fleet size (hosts monitored concurrently)
+//   --duration-ms N  fleet run length in virtual milliseconds (10 ms/tick)
+//   --out P          JSON report path
+//
 // CLI error contract: an unknown value for any of these flags, a numeric
 // value that is negative or overflows its type, or a flag that names a
 // value but sits last on the command line, reports the problem on stderr
@@ -175,17 +180,18 @@ inline core::ExperimentConfig config_from_args(int argc, char** argv) {
 inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
                                        const char* what,
                                        long long* capture_ms_out = nullptr) {
+  // One banner line carries the whole execution shape: thread count and
+  // the inference backend actually in effect (flag or HMD_INFER_BACKEND).
   std::fprintf(stderr,
                "[%s] capturing corpus (%u benign + %u malware variants per "
                "template, %u intervals, multi-run 4-counter PMU, %zu "
-               "threads, faults: %s)...\n",
+               "threads, %s inference backend, faults: %s)...\n",
                what, cfg.corpus.benign_per_template,
                cfg.corpus.malware_per_template, cfg.corpus.intervals_per_app,
                support::resolve_threads(cfg.threads),
+               std::string(ml::backend_kind_name(ml::infer_backend_kind()))
+                   .c_str(),
                hpc::describe_faults(cfg.capture.faults).c_str());
-  std::fprintf(
-      stderr, "[%s] inference backend: %s\n", what,
-      std::string(ml::backend_kind_name(ml::infer_backend_kind())).c_str());
   if (!cfg.capture.checkpoint_dir.empty()) {
     std::fprintf(stderr, "[%s] checkpoint: %s (%s campaign)\n", what,
                  cfg.capture.checkpoint_dir.c_str(),
@@ -229,6 +235,41 @@ inline core::ExperimentContext prepare(const core::ExperimentConfig& cfg,
   }
   if (capture_ms_out != nullptr) *capture_ms_out = ms;
   return ctx;
+}
+
+/// Flags shared by the serving benches, parsed with the same error
+/// contract as the experiment flags (unknown/malformed values exit 2).
+/// Zero / nullptr fields mean "flag absent — use the bench's default".
+struct ServeArgs {
+  std::size_t hosts = 0;          ///< --hosts: fleet size
+  std::uint64_t duration_ms = 0;  ///< --duration-ms: virtual run length
+  const char* out = nullptr;      ///< --out: JSON report path
+};
+
+inline ServeArgs serve_args(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hosts") == 0) {
+      const std::uint64_t v =
+          parse_u64_flag("--hosts", flag_value("--hosts", argc, argv, i));
+      if (v == 0) {
+        std::fprintf(stderr, "--hosts must be positive\n");
+        std::exit(2);
+      }
+      args.hosts = static_cast<std::size_t>(v);
+    }
+    if (std::strcmp(argv[i], "--duration-ms") == 0) {
+      args.duration_ms = parse_u64_flag(
+          "--duration-ms", flag_value("--duration-ms", argc, argv, i));
+      if (args.duration_ms == 0) {
+        std::fprintf(stderr, "--duration-ms must be positive\n");
+        std::exit(2);
+      }
+    }
+    if (std::strcmp(argv[i], "--out") == 0)
+      args.out = flag_value("--out", argc, argv, i);
+  }
+  return args;
 }
 
 /// Machine-readable performance record of one grid-bench run, for tracking

@@ -33,6 +33,12 @@
 #      unsuppressed determinism violations over the tree; clang-tidy and a
 #      clang -Wthread-safety build run when those tools are installed and
 #      skip loudly when not (the default container is gcc-only).
+#   8. Serving leg (5): bench/serve --quick runs under TSan (the
+#      controller/worker/collector pipeline is the most lock-dense code in
+#      the tree), then the Release tree proves the determinism contract —
+#      1-thread and 4-thread verdict streams byte-identical, per-run
+#      counters JSON-identical, and batched scoring at least as fast as
+#      unbatched.
 #
 # Each build uses its own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
 # or JOBS (default: all cores).
@@ -49,7 +55,10 @@ cmake --build build-ci-release -j "${JOBS}"
 (cd build-ci-release && ctest --output-on-failure -j "${JOBS}")
 
 echo "=== [1b] hmd_lint: analyzers over the experiment grid (quick) ==="
-./build-ci-release/tools/hmd_lint --quick --max-train-ms 5000
+# Serving budgets ride along: a small overloaded fleet must keep its e2e
+# p99 and shed rate under (generous) limits, or the lint exits non-zero.
+./build-ci-release/tools/hmd_lint --quick --max-train-ms 5000 \
+  --max-p99-us 500000 --max-shed-rate 0.5
 
 echo "=== [1c] micro_ml: training benchmark, legacy vs columnar (quick) ==="
 (cd build-ci-release && ./bench/micro_ml --quick --reps 1)
@@ -274,5 +283,48 @@ cmake --build build-ci-tsan -j "${JOBS}"
   HMD_THREADS=4 \
   TSAN_OPTIONS="halt_on_error=1" \
   ctest --output-on-failure -j "${JOBS}")
+
+echo "=== [5] serving pipeline: TSan quick run + determinism contract ==="
+# The sharded controller/worker/collector pipeline under TSan: every lock,
+# queue hand-off, and hedge-store access race-checked on a small fleet.
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-ci-tsan/bench/serve --quick --hosts 96 --duration-ms 300 \
+    --threads 4 --out build-ci-tsan/BENCH_serve.json
+# Determinism contract (Release tree): verdict streams byte-identical and
+# counters JSON-identical across worker counts, under a fixed seed.
+(
+  cd build-ci-release
+  rm -f serve-t1.json serve-t4.json serve-verdicts-t1.txt serve-verdicts-t4.txt
+  ./bench/serve --quick --threads 1 \
+    --out serve-t1.json --verdicts serve-verdicts-t1.txt
+  ./bench/serve --quick --threads 4 \
+    --out serve-t4.json --verdicts serve-verdicts-t4.txt
+  diff serve-verdicts-t1.txt serve-verdicts-t4.txt
+  echo "serve OK: 1-thread and 4-thread verdict streams byte-identical"
+)
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("build-ci-release/serve-t1.json") as f:
+    t1 = json.load(f)
+with open("build-ci-release/serve-t4.json") as f:
+    t4 = json.load(f)
+assert t1["bench"] == "serve", t1
+assert t1["verdicts_match"] is True, "batched/unbatched verdicts diverge"
+assert t1["batched_speedup"] >= 1.0, t1["batched_speedup"]
+for run in ("batched", "unbatched", "overloaded"):
+    assert t1[run]["counters"] == t4[run]["counters"], (
+        run, t1[run]["counters"], t4[run]["counters"])
+over = t1["overloaded"]["counters"]
+assert over["shed"] > 0, "overloaded run shed nothing"
+assert over["admitted"] + over["shed"] == over["emitted"], over
+print(f"BENCH serve OK: batched speedup {t1['batched_speedup']:.2f}x, "
+      f"counters identical across thread counts")
+EOF
+else
+  grep -q '"bench": "serve"' build-ci-release/serve-t1.json
+  grep -q '"verdicts_match": true' build-ci-release/serve-t1.json
+  echo "serve JSON OK (grep fallback)"
+fi
 
 echo "=== CI OK ==="

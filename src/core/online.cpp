@@ -9,6 +9,56 @@
 
 namespace hmd::core {
 
+Verdict OnlineState::step_score(const OnlineConfig& cfg, double score,
+                                bool degraded, bool suspect) {
+  missing_streak_ = 0;  // a real sample refreshes the held state
+  Verdict v;
+  v.interval = interval_++;
+  v.degraded = degraded;
+  v.score = score;
+  v.suspect = suspect;
+  if (v.interval < cfg.warmup_intervals) {
+    // Cold caches make the first interval(s) unrepresentative.
+    v.ewma = ewma_init_ ? ewma_ : 0.0;
+    v.alarm = alarm_;
+    return v;
+  }
+  if (!ewma_init_) {
+    ewma_ = score;
+    ewma_init_ = true;
+  } else {
+    ewma_ = cfg.ewma_alpha * score + (1.0 - cfg.ewma_alpha) * ewma_;
+  }
+  if (!alarm_ && ewma_ >= cfg.alarm_on) alarm_ = true;
+  if (alarm_ && ewma_ <= cfg.alarm_off) alarm_ = false;
+
+  v.ewma = ewma_;
+  v.alarm = alarm_;
+  return v;
+}
+
+Verdict OnlineState::step_missing(const OnlineConfig& cfg, bool degraded) {
+  ++missing_streak_;
+  Verdict v;
+  v.interval = interval_++;
+  v.degraded = degraded;
+  // Hold, don't reset: a dropped sample is not evidence of anything, so
+  // the smoothed score and the alarm keep their last trustworthy values.
+  v.score = ewma_init_ ? ewma_ : 0.0;
+  v.ewma = ewma_init_ ? ewma_ : 0.0;
+  v.alarm = alarm_;
+  v.stale = stale(cfg);
+  return v;
+}
+
+void OnlineState::reset() {
+  interval_ = 0;
+  missing_streak_ = 0;
+  ewma_ = 0.0;
+  alarm_ = false;
+  ewma_init_ = false;
+}
+
 OnlineDetector::OnlineDetector(std::shared_ptr<const ml::Classifier> model,
                                std::vector<sim::Event> events,
                                hpc::PmuConfig pmu, OnlineConfig cfg)
@@ -41,65 +91,35 @@ void OnlineDetector::reprogram(hpc::PmuConfig pmu) {
   // The run-time constraint: the detector's (available) events must be
   // concurrently countable — this throws if they exceed the PMU width.
   pmu_.program(active_events_);
+  // One allocation here instead of one per interval: observe() samples
+  // into this buffer for the lifetime of the programming.
+  sample_scratch_.reserve(pmu_.programmed().size());
 }
 
 Verdict OnlineDetector::observe(const sim::EventCounts& counts) {
   pmu_.observe(counts);
-  const auto values = pmu_.sample_and_clear();
-  for (std::size_t k = 0; k < values.size(); ++k)
-    held_[active_pos_[k]] = static_cast<double>(values[k]);
-  missing_streak_ = 0;  // a real sample refreshes the held state
+  // Reused readout buffer: the steady-state path constructs no fresh batch
+  // and performs no heap allocation (the flat backend's scratch is
+  // stack-local, and sample_scratch_ keeps its capacity across intervals).
+  pmu_.sample_and_clear(sample_scratch_);
+  for (std::size_t k = 0; k < sample_scratch_.size(); ++k)
+    held_[active_pos_[k]] = static_cast<double>(sample_scratch_[k]);
 
-  Verdict v;
-  v.interval = interval_++;
-  v.degraded = degraded();
-  v.score = backend_->predict_proba(held_);
+  const double score = backend_->predict_proba(held_);
   // Perturbation-aware vote: a low-margin (low member-agreement) score is
   // exactly what a budget-bounded evasion leaves behind — flag it rather
   // than trusting the raw probability.
-  if (cfg_.suspect_margin > 0.0)
-    v.suspect = model_->margin(held_) < cfg_.suspect_margin;
-
-  if (v.interval < cfg_.warmup_intervals) {
-    // Cold caches make the first interval(s) unrepresentative.
-    v.ewma = ewma_init_ ? ewma_ : 0.0;
-    v.alarm = alarm_;
-    return v;
-  }
-  if (!ewma_init_) {
-    ewma_ = v.score;
-    ewma_init_ = true;
-  } else {
-    ewma_ = cfg_.ewma_alpha * v.score + (1.0 - cfg_.ewma_alpha) * ewma_;
-  }
-  if (!alarm_ && ewma_ >= cfg_.alarm_on) alarm_ = true;
-  if (alarm_ && ewma_ <= cfg_.alarm_off) alarm_ = false;
-
-  v.ewma = ewma_;
-  v.alarm = alarm_;
-  return v;
+  const bool suspect = cfg_.suspect_margin > 0.0 &&
+                       model_->margin(held_) < cfg_.suspect_margin;
+  return state_.step_score(cfg_, score, degraded(), suspect);
 }
 
 Verdict OnlineDetector::observe_missing() {
-  ++missing_streak_;
-  Verdict v;
-  v.interval = interval_++;
-  v.degraded = degraded();
-  // Hold, don't reset: a dropped sample is not evidence of anything, so
-  // the smoothed score and the alarm keep their last trustworthy values.
-  v.score = ewma_init_ ? ewma_ : 0.0;
-  v.ewma = ewma_init_ ? ewma_ : 0.0;
-  v.alarm = alarm_;
-  v.stale = stale();
-  return v;
+  return state_.step_missing(cfg_, degraded());
 }
 
 void OnlineDetector::reset() {
-  interval_ = 0;
-  missing_streak_ = 0;
-  ewma_ = 0.0;
-  ewma_init_ = false;
-  alarm_ = false;
+  state_.reset();
   std::fill(held_.begin(), held_.end(), 0.0);
   pmu_.clear();
 }

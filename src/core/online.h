@@ -7,6 +7,7 @@
 // average of the malware probability drives an alarm with hysteresis.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -49,6 +50,44 @@ struct Verdict {
   /// this interval's score is low — treat the verdict as possibly shaped
   /// by an adversary. Always false while the gate is disabled.
   bool suspect = false;
+};
+
+/// The batch-steppable half of the online detector: the per-host
+/// EWMA/alarm/staleness automaton, decoupled from sampling and scoring.
+///
+/// OnlineDetector scores one PMU stream and steps one of these per
+/// interval; the fleet serving layer (src/serve) instead scores *many*
+/// hosts' intervals in one predict_proba_batch call and then steps each
+/// host's OnlineState with its score. Both paths run this exact code, so a
+/// served host's verdict stream is bit-identical to a dedicated detector
+/// fed the same samples. Plain value type: copyable, no allocation, no
+/// locking — one per host, owned by whoever serializes that host's time.
+class OnlineState {
+ public:
+  /// Advance one interval with a real sample's score. `degraded`/`suspect`
+  /// annotate the verdict; they do not change the automaton.
+  Verdict step_score(const OnlineConfig& cfg, double score,
+                     bool degraded = false, bool suspect = false);
+
+  /// Advance one interval with no sample (dropped read, shed load): hold
+  /// the EWMA and alarm, advance the staleness watchdog.
+  Verdict step_missing(const OnlineConfig& cfg, bool degraded = false);
+
+  void reset();
+
+  bool alarmed() const { return alarm_; }
+  std::size_t intervals() const { return interval_; }
+  std::size_t missing_streak() const { return missing_streak_; }
+  bool stale(const OnlineConfig& cfg) const {
+    return missing_streak_ > cfg.max_stale_intervals;
+  }
+
+ private:
+  std::size_t interval_ = 0;
+  std::size_t missing_streak_ = 0;
+  double ewma_ = 0.0;
+  bool alarm_ = false;
+  bool ewma_init_ = false;
 };
 
 /// Streams PMU samples into a trained classifier.
@@ -96,10 +135,10 @@ class OnlineDetector {
   }
   /// True when unavailable events forced a feature-subset fallback.
   bool degraded() const { return active_events_.size() != events_.size(); }
-  bool alarmed() const { return alarm_; }
-  std::size_t missing_streak() const { return missing_streak_; }
+  bool alarmed() const { return state_.alarmed(); }
+  std::size_t missing_streak() const { return state_.missing_streak(); }
   /// True once the watchdog considers the held state stale.
-  bool stale() const { return missing_streak_ > cfg_.max_stale_intervals; }
+  bool stale() const { return state_.stale(cfg_); }
 
  private:
   std::shared_ptr<const ml::Classifier> model_;
@@ -114,12 +153,11 @@ class OnlineDetector {
   std::vector<sim::Event> active_events_;  ///< programmed subset of events_
   std::vector<std::size_t> active_pos_;    ///< feature index of each active
   std::vector<double> held_;  ///< last known value per model feature
+  /// Counter readout buffer reused across intervals: the steady-state
+  /// observe() path performs no heap allocation (asserted by test).
+  std::vector<std::uint64_t> sample_scratch_;
 
-  std::size_t interval_ = 0;
-  std::size_t missing_streak_ = 0;
-  double ewma_ = 0.0;
-  bool alarm_ = false;
-  bool ewma_init_ = false;
+  OnlineState state_;  ///< EWMA/alarm/staleness automaton
 };
 
 /// Execute `app` on a fresh machine under the online detector and return

@@ -67,6 +67,11 @@ std::vector<std::uint64_t> Pmu::sample_and_clear() {
   return out;
 }
 
+void Pmu::sample_and_clear(std::vector<std::uint64_t>& out) {
+  out.assign(value_.begin(), value_.end());
+  clear();
+}
+
 void Pmu::clear() { std::fill(value_.begin(), value_.end(), 0); }
 
 std::vector<std::vector<sim::Event>> schedule_batches(

@@ -63,6 +63,12 @@ class Pmu {
   /// Read and clear all programmed counters (sampling readout).
   std::vector<std::uint64_t> sample_and_clear();
 
+  /// Allocation-free readout for per-interval hot paths: fills `out` with
+  /// the programmed counters (resized to programmed().size(), reusing its
+  /// capacity) and clears them. The online detector samples through a
+  /// reused buffer so a 10 ms interval costs no heap traffic.
+  void sample_and_clear(std::vector<std::uint64_t>& out);
+
   /// Zero all counters.
   void clear();
 

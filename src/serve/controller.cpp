@@ -1,0 +1,392 @@
+#include "serve/controller.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "serve/token_bucket.h"
+#include "support/check.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/thread_safety.h"
+
+namespace hmd::serve {
+
+namespace {
+
+constexpr std::uint64_t kStragglerSalt = 0x57A661E2B0A7ED15ULL;
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seeded per-(tick, shard) straggler mark. A pure function of the fleet
+/// seed — independent of worker count, so straggler_batches and
+/// hedges_launched stay in the deterministic domain.
+bool straggles(std::uint64_t seed, std::uint32_t tick, std::uint32_t shard,
+               double rate) {
+  if (rate <= 0.0) return false;
+  const std::uint64_t v =
+      mix64(mix64(seed ^ kStragglerSalt) ^
+            ((static_cast<std::uint64_t>(tick) << 32) | shard));
+  return static_cast<double>(v >> 11) * 0x1.0p-53 < rate;
+}
+
+/// One unit of work: a (tick, shard) batch, or its hedge duplicate.
+struct Task {
+  std::uint32_t tick = 0;
+  std::uint32_t shard = 0;
+  bool is_hedge = false;  ///< score-only duplicate for the hedge store
+  bool hedged = false;    ///< a hedge duplicate was launched for this batch
+  std::uint32_t straggler_reps = 0;  ///< injected extra re-scores
+  /// Row-major features of the *scored* hosts of the shard, in shard host
+  /// order. Shared so a hedge duplicate needs no copy.
+  std::shared_ptr<const std::vector<double>> rows;
+  /// Outcome per shard host (parallel to the shard's host list); empty for
+  /// hedge tasks.
+  std::vector<SampleOutcome> outcomes;
+  double created_us = 0.0;  ///< batch assembly start (e2e anchor)
+  double enqueue_us = 0.0;  ///< queue-wait anchor
+};
+
+/// A worker's finished batch, bound for the collector.
+struct Chunk {
+  std::uint32_t tick = 0;
+  std::uint32_t shard = 0;
+  std::vector<ServeVerdict> verdicts;
+  std::uint64_t alarms = 0;  ///< false->true transitions in this batch
+  std::uint64_t scored = 0;  ///< rows scored (== admitted hosts)
+  bool hedge_win = false;    ///< the hedge duplicate's scores arrived first
+  double queue_us = 0.0;
+  double score_us = 0.0;
+  double step_us = 0.0;
+  double e2e_us = 0.0;
+};
+
+/// Rendezvous for hedge results: the hedge worker deposits the batch's
+/// scores keyed by (tick, shard); the owner consumes them if they beat its
+/// own scoring. Scores are bit-identical either way (same backend, same
+/// rows), so this race affects latency only.
+class HedgeStore {
+ public:
+  void put(std::uint32_t tick, std::uint32_t shard,
+           std::vector<double> scores) {
+    support::MutexLock lock(mutex_);
+    store_.emplace(std::make_pair(tick, shard), std::move(scores));
+  }
+
+  std::optional<std::vector<double>> take(std::uint32_t tick,
+                                          std::uint32_t shard) {
+    support::MutexLock lock(mutex_);
+    const auto it = store_.find(std::make_pair(tick, shard));
+    if (it == store_.end()) return std::nullopt;
+    std::vector<double> scores = std::move(it->second);
+    store_.erase(it);
+    return scores;
+  }
+
+ private:
+  support::Mutex mutex_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>>
+      store_ HMD_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+std::uint64_t verdict_stream_hash(const std::vector<ServeVerdict>& verdicts) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  const auto mix = [&h](std::uint64_t v, unsigned bytes) {
+    for (unsigned b = 0; b < bytes; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFU;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const ServeVerdict& v : verdicts) {
+    mix(v.tick, 4);
+    mix(v.host, 4);
+    mix(static_cast<std::uint64_t>(v.outcome), 1);
+    mix(static_cast<std::uint64_t>(v.alarm) |
+            (static_cast<std::uint64_t>(v.stale) << 1),
+        1);
+    mix(std::bit_cast<std::uint64_t>(v.score), 8);
+    mix(std::bit_cast<std::uint64_t>(v.ewma), 8);
+  }
+  return h;
+}
+
+ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
+  const std::size_t hosts = fleet.hosts.size();
+  const std::uint32_t ticks = fleet.cfg.ticks;
+  const std::size_t nf = fleet.num_features;
+  HMD_REQUIRE(hosts >= 1 && ticks >= 1 && nf >= 1);
+  HMD_REQUIRE(cfg.queue_capacity >= 1);
+
+  // Shard count is deterministic-domain: auto depends on the fleet only,
+  // never on the worker count.
+  std::size_t num_shards =
+      cfg.shards > 0 ? cfg.shards : std::max<std::size_t>(1, hosts / 32);
+  num_shards = std::min(num_shards, hosts);
+  const std::size_t workers =
+      std::max<std::size_t>(1,
+                            std::min(support::resolve_threads(cfg.threads),
+                                     num_shards));
+
+  // Shard s owns hosts h with h mod S == s, ascending; worker w owns
+  // shards s with s mod W == w. Per-shard state is touched only by its
+  // owning worker, and tasks reach it tick-ordered through a FIFO queue —
+  // that exclusivity plus ordering is the whole thread-safety story for
+  // detector state.
+  std::vector<std::vector<std::uint32_t>> shard_hosts(num_shards);
+  for (std::uint32_t h = 0; h < hosts; ++h)
+    shard_hosts[h % num_shards].push_back(h);
+  std::vector<std::vector<core::OnlineState>> state(num_shards);
+  std::vector<std::vector<std::uint8_t>> ever_alarmed(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    state[s].resize(shard_hosts[s].size());
+    ever_alarmed[s].assign(shard_hosts[s].size(), 0);
+  }
+
+  std::vector<std::unique_ptr<support::BoundedQueue<Task>>> task_q;
+  for (std::size_t w = 0; w < workers; ++w)
+    task_q.push_back(
+        std::make_unique<support::BoundedQueue<Task>>(cfg.queue_capacity));
+  support::BoundedQueue<Chunk> result_q(
+      std::max<std::size_t>(64, 4 * workers));
+  HedgeStore hedges;
+
+  ServeReport report;
+  ServeCounters& counters = report.counters;
+  ServeTiming& timing = report.timing;
+  std::vector<ServeVerdict> verdicts;
+  verdicts.reserve(static_cast<std::size_t>(hosts) * ticks);
+
+  const double t_start = now_us();
+
+  // Collector: drains result chunks. Sole owner of `timing`/`verdicts`
+  // (and the chunk-summed counters) until joined.
+  std::thread collector([&] {
+    while (std::optional<Chunk> c = result_q.pop()) {
+      timing.queue.add(c->queue_us);
+      timing.score.add(c->score_us);
+      timing.step.add(c->step_us);
+      timing.e2e.add(c->e2e_us);
+      if (c->hedge_win) ++timing.hedge_wins;
+      ++counters.batches;
+      counters.scored_rows += c->scored;
+      counters.alarms_raised += c->alarms;
+      verdicts.insert(verdicts.end(), c->verdicts.begin(), c->verdicts.end());
+    }
+  });
+
+  // Workers: score whole batches, step the owned shards' automata.
+  const auto score_batch = [&](const std::vector<double>& rows,
+                               std::vector<double>& out) {
+    const std::size_t n = rows.size() / nf;
+    out.assign(n, 0.0);
+    if (n == 0) return;
+    if (cfg.batched) {
+      fleet.backend->predict_proba_batch(rows, nf, out);
+    } else {
+      // A/B baseline: the identical engine, one batch-of-one call per row
+      // — the per-interval scalar path every OnlineDetector runs today.
+      const std::span<const double> x(rows);
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = fleet.backend->predict_proba(x.subspan(i * nf, nf));
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      std::vector<double> scores;
+      std::vector<double> waste;
+      while (std::optional<Task> t = task_q[w]->pop()) {
+        const double pop_us = now_us();
+        Task& task = *t;
+        if (task.is_hedge) {
+          std::vector<double> dup;
+          score_batch(*task.rows, dup);
+          hedges.put(task.tick, task.shard, std::move(dup));
+          continue;
+        }
+        // Straggler injection: re-score and discard. Burns deterministic
+        // extra work in the owner so the hedge has something to win.
+        for (std::uint32_t rep = 0; rep < task.straggler_reps; ++rep)
+          score_batch(*task.rows, waste);
+        bool hedge_win = false;
+        if (task.hedged) {
+          if (auto dup = hedges.take(task.tick, task.shard)) {
+            scores = std::move(*dup);
+            hedge_win = true;
+          }
+        }
+        if (!hedge_win) score_batch(*task.rows, scores);
+        const double scored_us = now_us();
+
+        Chunk c;
+        c.tick = task.tick;
+        c.shard = task.shard;
+        c.hedge_win = hedge_win;
+        c.verdicts.reserve(task.outcomes.size());
+        std::vector<core::OnlineState>& st = state[task.shard];
+        std::vector<std::uint8_t>& ever = ever_alarmed[task.shard];
+        std::size_t k = 0;  // cursor into the batch's scored rows
+        for (std::size_t i = 0; i < task.outcomes.size(); ++i) {
+          const bool was = st[i].alarmed();
+          const core::Verdict v =
+              task.outcomes[i] == SampleOutcome::kScored
+                  ? st[i].step_score(cfg.online, scores[k++])
+                  : st[i].step_missing(cfg.online);
+          if (!was && st[i].alarmed()) {
+            ++c.alarms;
+            ever[i] = 1;
+          }
+          c.verdicts.push_back({task.tick, shard_hosts[task.shard][i],
+                                v.score, v.ewma, task.outcomes[i], v.alarm,
+                                v.stale});
+        }
+        c.scored = k;
+        const double done_us = now_us();
+        c.queue_us = pop_us - task.enqueue_us;
+        c.score_us = scored_us - pop_us;
+        c.step_us = done_us - scored_us;
+        c.e2e_us = done_us - task.created_us;
+        result_q.push(std::move(c));
+      }
+    });
+  }
+
+  // Controller (this thread): the single producer. Admission, drops, batch
+  // assembly, and straggler/hedge marks all happen here, on the virtual
+  // tick clock, in (tick, shard, host) order — the deterministic domain.
+  const std::uint64_t admit_cap =
+      cfg.admit_burst > 0 ? cfg.admit_burst : cfg.admit_per_tick;
+  std::optional<TokenBucket> bucket;
+  if (cfg.admit_per_tick > 0) bucket.emplace(admit_cap, cfg.admit_per_tick);
+
+  std::uint64_t missing = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t straggler_batches = 0;
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t stalls = 0;
+  LatencyStats gen_stats;
+
+  for (std::uint32_t tick = 0; tick < ticks; ++tick) {
+    if (bucket && tick > 0) bucket->refill();  // the bucket starts full
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const double t0 = now_us();
+      const std::vector<std::uint32_t>& members = shard_hosts[s];
+      auto rows = std::make_shared<std::vector<double>>();
+      rows->reserve(members.size() * nf);
+      std::vector<SampleOutcome> outcomes(members.size(),
+                                          SampleOutcome::kScored);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const std::uint32_t h = members[i];
+        if (sample_dropped(fleet, h, tick)) {
+          outcomes[i] = SampleOutcome::kMissing;
+          ++missing;
+          continue;
+        }
+        if (bucket && bucket->take(1) == 0) {
+          outcomes[i] = SampleOutcome::kShed;
+          ++shed;
+          continue;
+        }
+        ++admitted;
+        const std::size_t at = rows->size();
+        rows->resize(at + nf);
+        gen_features(fleet, h, tick, std::span<double>(*rows).subspan(at, nf));
+      }
+
+      Task task;
+      task.tick = tick;
+      task.shard = s;
+      task.rows = rows;
+      task.outcomes = std::move(outcomes);
+      task.created_us = t0;
+      const bool straggle =
+          straggles(fleet.cfg.seed, tick, s, cfg.straggler_rate);
+      if (straggle) {
+        ++straggler_batches;
+        task.straggler_reps = cfg.straggler_reps;
+        if (cfg.hedge && !rows->empty()) {
+          // Hedge goes out FIRST, to the next worker's queue: with one
+          // worker it lands ahead of the straggling batch and always wins;
+          // with several it genuinely races.
+          ++hedges_launched;
+          task.hedged = true;
+          Task hedge;
+          hedge.tick = tick;
+          hedge.shard = s;
+          hedge.is_hedge = true;
+          hedge.rows = rows;
+          hedge.enqueue_us = now_us();
+          const std::size_t hw = (s + 1) % workers;
+          if (!task_q[hw]->try_push(hedge)) {
+            ++stalls;
+            task_q[hw]->push(std::move(hedge));
+          }
+        }
+      }
+      gen_stats.add(now_us() - t0);
+      task.enqueue_us = now_us();
+      const std::size_t w = s % workers;
+      if (!task_q[w]->try_push(task)) {
+        ++stalls;  // backpressure: a full queue stalls the controller
+        task_q[w]->push(std::move(task));
+      }
+    }
+  }
+
+  for (auto& q : task_q) q->close();
+  for (std::thread& t : pool) t.join();
+  result_q.close();
+  collector.join();
+  const double t_end = now_us();
+
+  // The stream is assembled in completion order (worker- and
+  // timing-dependent); sorting by (tick, host) restores the canonical
+  // order every configuration shares.
+  std::sort(verdicts.begin(), verdicts.end(),
+            [](const ServeVerdict& a, const ServeVerdict& b) {
+              return a.tick != b.tick ? a.tick < b.tick : a.host < b.host;
+            });
+
+  counters.hosts = hosts;
+  counters.ticks = ticks;
+  counters.shards = num_shards;
+  counters.offered = static_cast<std::uint64_t>(hosts) * ticks;
+  counters.missing = missing;
+  counters.emitted = counters.offered - missing;
+  counters.admitted = admitted;
+  counters.shed = shed;
+  counters.straggler_batches = straggler_batches;
+  counters.hedges_launched = hedges_launched;
+  counters.malware_hosts = fleet.malware_hosts;
+  for (const auto& flags : ever_alarmed)
+    for (std::uint8_t f : flags) counters.alarmed_hosts += f;
+  counters.verdict_hash = verdict_stream_hash(verdicts);
+
+  timing.gen = gen_stats;
+  timing.wall_ms = (t_end - t_start) / 1000.0;
+  timing.intervals_per_sec =
+      timing.wall_ms > 0.0
+          ? static_cast<double>(counters.offered) * 1000.0 / timing.wall_ms
+          : 0.0;
+  timing.hedge_wasted = hedges_launched - timing.hedge_wins;
+  timing.backpressure_stalls = stalls;
+
+  if (cfg.record_verdicts) report.verdicts = std::move(verdicts);
+  return report;
+}
+
+}  // namespace hmd::serve

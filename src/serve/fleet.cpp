@@ -1,0 +1,150 @@
+#include "serve/fleet.h"
+
+#include <string>
+#include <utility>
+
+#include "core/experiment.h"
+#include "hpc/capture.h"
+#include "sim/workloads.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace hmd::serve {
+
+namespace {
+
+// Independent salt per decision stream: drop decisions, scale jitter, and
+// host assignment must not share randomness, or consuming one (e.g. the
+// admission path asking "dropped?" before generating the row) would
+// perturb the others.
+constexpr std::uint64_t kHostSalt = 0x9D7A11F0C3B52E64ULL;
+constexpr std::uint64_t kDropSalt = 0x5EED0FDA7ADE0D11ULL;
+constexpr std::uint64_t kScaleSalt = 0xC0FFEE1234ABCD99ULL;
+
+std::uint64_t pack(std::uint32_t host, std::uint32_t tick) {
+  return (static_cast<std::uint64_t>(host) << 32) | tick;
+}
+
+}  // namespace
+
+FleetSetup make_fleet(const FleetConfig& cfg) {
+  HMD_REQUIRE(cfg.hosts >= 1);
+  HMD_REQUIRE(cfg.ticks >= 1);
+  HMD_REQUIRE(cfg.bank_intervals >= 1);
+  HMD_REQUIRE(cfg.malware_fraction >= 0.0 && cfg.malware_fraction <= 1.0);
+  HMD_REQUIRE(cfg.drop_rate >= 0.0 && cfg.drop_rate < 1.0);
+
+  FleetSetup fleet;
+  fleet.cfg = cfg;
+
+  // Offline phase, exactly the deployment recipe of examples/runtime_monitor:
+  // the 44-event study capture picks the top features, then the served
+  // model is retrained on data captured the way it will be read at run
+  // time (its events together, one run per app).
+  core::ExperimentConfig exp;
+  exp.corpus.seed = cfg.seed;
+  exp.corpus.benign_per_template = cfg.train_variants;
+  exp.corpus.malware_per_template = cfg.train_variants;
+  exp.corpus.intervals_per_app = cfg.train_intervals;
+  exp.threads = cfg.threads;
+  exp.capture.threads = cfg.threads;
+  const core::ExperimentContext ctx = core::prepare_experiment(exp);
+
+  for (std::size_t f : ctx.top_features(cfg.hpcs))
+    fleet.events.push_back(sim::event_from_name(ctx.full.feature_name(f)));
+  fleet.num_features = fleet.events.size();
+
+  sim::CorpusConfig deploy = exp.corpus;
+  deploy.benign_per_template = cfg.train_variants + 2;
+  deploy.malware_per_template = cfg.train_variants + 2;
+  fleet.model = core::train_deployment_model(
+      sim::build_corpus(deploy), fleet.events, ml::ClassifierKind::kJRip,
+      ml::EnsembleKind::kBagging, exp.capture, /*seed=*/7);
+  fleet.backend = ml::make_active_backend(*fleet.model);
+
+  // Template bank: one *unseen* variant per behaviour template (the
+  // variant index was never instantiated by either training corpus),
+  // captured with exactly the model's events — one run per app.
+  const std::uint32_t unseen = deploy.benign_per_template;
+  std::vector<sim::AppProfile> bank_corpus;
+  for (std::size_t t = 0; t < sim::benign_template_count(); ++t)
+    bank_corpus.push_back(
+        sim::make_benign(t, unseen, cfg.seed, cfg.bank_intervals));
+  for (std::size_t t = 0; t < sim::malware_template_count(); ++t)
+    bank_corpus.push_back(
+        sim::make_malware(t, unseen, cfg.seed, cfg.bank_intervals));
+  const hpc::Capture bank =
+      hpc::capture_corpus(bank_corpus, fleet.events, exp.capture);
+  HMD_REQUIRE(bank.num_features() == fleet.num_features);
+
+  fleet.app_begin.assign(bank_corpus.size(), 0);
+  fleet.app_rows.assign(bank_corpus.size(), 0);
+  fleet.app_labels = bank.app_labels;
+  for (std::size_t r = 0; r < bank.num_rows(); ++r) {
+    const std::size_t app = bank.row_app[r];
+    if (fleet.app_rows[app] == 0) fleet.app_begin[app] = fleet.bank.size() /
+                                                         fleet.num_features;
+    ++fleet.app_rows[app];
+    fleet.bank.insert(fleet.bank.end(), bank.rows[r].begin(),
+                      bank.rows[r].end());
+  }
+  for (std::size_t app = 0; app < bank_corpus.size(); ++app)
+    HMD_REQUIRE_MSG(fleet.app_rows[app] > 0,
+                    "bank app captured no rows: " + bank.app_names[app]);
+
+  // Host assignment: every field is a hash of (seed, host) — stable under
+  // any fleet size change that keeps the host index.
+  const std::uint32_t benign_apps =
+      static_cast<std::uint32_t>(sim::benign_template_count());
+  const std::uint32_t malware_apps =
+      static_cast<std::uint32_t>(sim::malware_template_count());
+  const std::uint64_t host_seed = mix64(cfg.seed ^ kHostSalt);
+  fleet.hosts.resize(cfg.hosts);
+  for (std::uint32_t h = 0; h < cfg.hosts; ++h) {
+    const std::uint64_t hs = mix64(host_seed ^ h);
+    HostProfile& p = fleet.hosts[h];
+    p.is_malware =
+        static_cast<double>(mix64(hs ^ 1) >> 11) * 0x1.0p-53 <
+        cfg.malware_fraction;
+    p.benign_app = static_cast<std::uint32_t>(mix64(hs ^ 2) % benign_apps);
+    p.malware_app =
+        benign_apps + static_cast<std::uint32_t>(mix64(hs ^ 3) % malware_apps);
+    if (!p.is_malware) p.malware_app = p.benign_app;
+    // Infection begins somewhere in the middle 60% of the run, so every
+    // malware host shows both clean and infected behaviour.
+    p.onset_tick = cfg.ticks / 5 +
+                   static_cast<std::uint32_t>(
+                       mix64(hs ^ 4) % (1 + (cfg.ticks * 3) / 5));
+    p.phase = static_cast<std::uint32_t>(mix64(hs ^ 5));
+    if (p.is_malware) ++fleet.malware_hosts;
+  }
+  return fleet;
+}
+
+bool sample_dropped(const FleetSetup& fleet, std::uint32_t host,
+                    std::uint32_t tick) {
+  const double rate = fleet.cfg.drop_rate;
+  if (rate <= 0.0) return false;
+  const std::uint64_t v =
+      mix64(mix64(fleet.cfg.seed ^ kDropSalt) ^ pack(host, tick));
+  return static_cast<double>(v >> 11) * 0x1.0p-53 < rate;
+}
+
+void gen_features(const FleetSetup& fleet, std::uint32_t host,
+                  std::uint32_t tick, std::span<double> out) {
+  HMD_REQUIRE(out.size() == fleet.num_features);
+  const HostProfile& p = fleet.hosts[host];
+  const std::uint32_t app =
+      host_infected(fleet, host, tick) ? p.malware_app : p.benign_app;
+  const std::size_t rows = fleet.app_rows[app];
+  const std::size_t row = fleet.app_begin[app] + (tick + p.phase) % rows;
+  const double* src = fleet.bank.data() + row * fleet.num_features;
+  double scale = 1.0;
+  if (fleet.cfg.scale_sigma > 0.0) {
+    Rng rng(mix64(fleet.cfg.seed ^ kScaleSalt) ^ pack(host, tick));
+    scale = rng.lognormal(0.0, fleet.cfg.scale_sigma);
+  }
+  for (std::size_t j = 0; j < fleet.num_features; ++j) out[j] = src[j] * scale;
+}
+
+}  // namespace hmd::serve

@@ -1,0 +1,108 @@
+// Deterministic fleet workload for the streaming detection service.
+//
+// The serving layer's job is to monitor *thousands* of hosts at once, but
+// simulating a full sim::Machine per host per 10 ms tick would make the
+// workload generator orders of magnitude slower than the pipeline it
+// feeds. The fleet driver therefore captures a small *template bank* up
+// front — one unseen variant of every benign and malware behaviour
+// template, captured with exactly the deployed model's events (one run per
+// app, the deployment protocol) — and then synthesises each host's
+// interval stream from the bank: host h at tick t replays a bank row of
+// its assigned application, phase-shifted per host and scaled by a
+// per-(host, tick) log-normal factor. One factor per row (not per cell)
+// preserves the cross-feature correlation a real co-sampled interval has.
+//
+// Everything is a pure function of (seed, host, tick): which hosts run
+// malware, when each infection begins, which samples the collector drops,
+// and every feature value. The generator has no state to share, so any
+// number of threads can emit any host's tick independently and the fleet's
+// offered load is bit-identical across runs, worker counts, and hardware.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/online.h"
+#include "ml/classifier.h"
+#include "ml/infer.h"
+#include "sim/events.h"
+
+namespace hmd::serve {
+
+struct FleetConfig {
+  std::size_t hosts = 2000;
+  std::uint32_t ticks = 300;  ///< 10 ms intervals per host (3 s of fleet time)
+  std::uint64_t seed = 2018;
+  double malware_fraction = 0.25;  ///< hosts that run a malware app
+  /// Per-(host, tick) probability the collector loses the sample (the
+  /// detector steps its staleness watchdog instead of scoring).
+  double drop_rate = 0.01;
+  /// Sigma of the log-normal per-row scale jitter on bank rows.
+  double scale_sigma = 0.08;
+  /// Rows captured per bank application (the replay period per host).
+  std::uint32_t bank_intervals = 24;
+  /// Counters the deployed detector uses (= PMU width it must fit).
+  std::size_t hpcs = 4;
+  /// Corpus scale for the offline phase: the 44-event study capture that
+  /// picks the features, and the deployment-protocol capture that trains
+  /// the served model. Small defaults keep fleet setup in bench-tolerable
+  /// time; they only shape the model, never the serving pipeline.
+  std::uint32_t train_variants = 2;
+  std::uint32_t train_intervals = 12;
+  std::size_t threads = 0;  ///< capture threads for setup; 0 = auto
+};
+
+/// One host's static assignment, derived from the fleet seed.
+struct HostProfile {
+  std::uint32_t benign_app = 0;   ///< bank index replayed while clean
+  std::uint32_t malware_app = 0;  ///< bank index replayed once infected
+  std::uint32_t onset_tick = 0;   ///< first infected tick (malware hosts)
+  std::uint32_t phase = 0;        ///< per-host shift into the bank rows
+  bool is_malware = false;
+};
+
+/// The trained model, its template bank, and the per-host assignments —
+/// immutable once built; shared read-only by every worker.
+struct FleetSetup {
+  FleetConfig cfg;
+  std::shared_ptr<const ml::Classifier> model;
+  /// Process-wide-selected inference engine over `model` (thread-safe;
+  /// see ml/infer.h). Built once, shared by all serving workers.
+  std::unique_ptr<ml::InferenceBackend> backend;
+  std::vector<sim::Event> events;  ///< model features, in training order
+  std::size_t num_features = 0;
+
+  std::vector<double> bank;             ///< row-major bank rows
+  std::vector<std::size_t> app_begin;   ///< first bank row of app i
+  std::vector<std::size_t> app_rows;    ///< row count of app i
+  std::vector<int> app_labels;          ///< 1 = malware template
+  std::vector<HostProfile> hosts;
+  std::size_t malware_hosts = 0;
+};
+
+/// Offline phase: select features, train the deployment model, capture the
+/// template bank, and assign host profiles. Deterministic in cfg.
+FleetSetup make_fleet(const FleetConfig& cfg);
+
+/// True when host h's tick-t sample is lost by the collector. Pure
+/// function of (cfg.seed, host, tick); independent of the feature stream —
+/// admission control consumes drop decisions before any row is generated,
+/// and that must not perturb the rows themselves.
+bool sample_dropped(const FleetSetup& fleet, std::uint32_t host,
+                    std::uint32_t tick);
+
+/// Synthesise host h's feature row for tick t into `out`
+/// (out.size() == num_features). Pure function of (cfg.seed, host, tick).
+void gen_features(const FleetSetup& fleet, std::uint32_t host,
+                  std::uint32_t tick, std::span<double> out);
+
+/// Whether host h is running its malware app at tick t.
+inline bool host_infected(const FleetSetup& fleet, std::uint32_t host,
+                          std::uint32_t tick) {
+  const HostProfile& p = fleet.hosts[host];
+  return p.is_malware && tick >= p.onset_tick;
+}
+
+}  // namespace hmd::serve

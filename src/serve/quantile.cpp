@@ -1,0 +1,86 @@
+#include "serve/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace hmd::serve {
+
+QuantileEstimator::QuantileEstimator(double q) : q_(q) {
+  HMD_REQUIRE(q > 0.0 && q < 1.0);
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  rate_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void QuantileEstimator::add(double x) {
+  if (count_ < 5) {
+    // Bootstrap: collect the first five observations sorted. estimate()
+    // reads the exact value out of this prefix until the markers take over.
+    height_[count_++] = x;
+    std::sort(height_.begin(), height_.begin() + static_cast<long>(count_));
+    if (count_ == 5)
+      for (std::size_t i = 0; i < 5; ++i) pos_[i] = static_cast<double>(i + 1);
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  std::size_t k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = std::max(height_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += rate_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions, by a
+  // piecewise-parabolic (P²) height step when it preserves ordering, else
+  // by a linear step.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double np = pos_[i + 1], pp = pos_[i - 1], cp = pos_[i];
+      const double nh = height_[i + 1], ph = height_[i - 1], ch = height_[i];
+      double h = ch + s / (np - pp) *
+                          ((cp - pp + s) * (nh - ch) / (np - cp) +
+                           (np - cp - s) * (ch - ph) / (cp - pp));
+      if (h <= ph || h >= nh)  // parabolic step broke ordering: go linear
+        h = s > 0.0 ? ch + (nh - ch) / (np - cp)
+                    : ch - (ph - ch) / (pp - cp);
+      height_[i] = h;
+      pos_[i] += s;
+    }
+  }
+}
+
+double QuantileEstimator::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile of the sorted prefix (nearest-rank).
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+    return height_[std::min(idx, count_ - 1)];
+  }
+  return height_[2];
+}
+
+void LatencyStats::add(double us) {
+  p50_.add(us);
+  p95_.add(us);
+  p99_.add(us);
+  ++count_;
+  sum_ += us;
+  max_ = std::max(max_, us);
+}
+
+}  // namespace hmd::serve

@@ -1,0 +1,74 @@
+// Streaming quantile estimation for tail-latency accounting.
+//
+// The serving pipeline (serve/controller.h) reports p50/p95/p99 per stage
+// over hundreds of thousands of measurements; storing and sorting them all
+// would cost more than the stages being measured. QuantileEstimator is the
+// P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the target
+// quantile and its neighbourhood in O(1) memory and O(1) per observation,
+// adjusting marker heights by a piecewise-parabolic fit as samples stream
+// in. Below five samples the estimate falls back to the exact sorted value,
+// so short runs (a --quick bench, a unit test) are not nonsense.
+//
+// Determinism: the estimate is a pure function of the observation sequence
+// — no randomisation, no clocks — which is what lets the estimator tests
+// compare it against a sorted reference on seeded streams. (The *latencies*
+// fed to it at run time are measured and therefore vary; the counters
+// section of a serve report never passes through this class.)
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace hmd::serve {
+
+/// P² single-quantile streaming estimator.
+class QuantileEstimator {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for p99.
+  explicit QuantileEstimator(double q);
+
+  /// Observe one value.
+  void add(double x);
+
+  /// Current estimate of the q-quantile; 0 before any observation.
+  double estimate() const;
+
+  std::size_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> height_{};    ///< marker heights (sorted invariant)
+  std::array<double, 5> pos_{};       ///< actual marker positions (1-based)
+  std::array<double, 5> desired_{};   ///< desired marker positions
+  std::array<double, 5> rate_{};      ///< desired-position increments
+};
+
+/// One pipeline stage's latency account: p50/p95/p99 plus mean and max.
+/// All values are in microseconds by convention of the serving layer.
+class LatencyStats {
+ public:
+  LatencyStats() : p50_(0.50), p95_(0.95), p99_(0.99) {}
+
+  void add(double us);
+
+  double p50() const { return p50_.estimate(); }
+  double p95() const { return p95_.estimate(); }
+  double p99() const { return p99_.estimate(); }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double max() const { return max_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  QuantileEstimator p50_;
+  QuantileEstimator p95_;
+  QuantileEstimator p99_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hmd::serve

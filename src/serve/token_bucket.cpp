@@ -1,0 +1,32 @@
+#include "serve/token_bucket.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace hmd::serve {
+
+TokenBucket::TokenBucket(std::uint64_t capacity,
+                         std::uint64_t refill_per_tick)
+    : capacity_(capacity), refill_per_tick_(refill_per_tick),
+      tokens_(capacity) {
+  HMD_REQUIRE(capacity >= 1);
+}
+
+void TokenBucket::refill() {
+  // Saturating add: a long idle stretch never banks more than one burst.
+  tokens_ = (refill_per_tick_ >= capacity_ - tokens_)
+                ? capacity_
+                : tokens_ + refill_per_tick_;
+}
+
+std::uint64_t TokenBucket::take(std::uint64_t want) {
+  const std::uint64_t grant = std::min(want, tokens_);
+  tokens_ -= grant;
+  offered_ += want;
+  granted_ += grant;
+  shed_ += want - grant;
+  return grant;
+}
+
+}  // namespace hmd::serve

@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <optional>
@@ -34,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/check.h"
 #include "support/thread_safety.h"
 
 namespace hmd::support {
@@ -46,6 +48,111 @@ std::optional<std::size_t> parse_thread_count(const char* text);
 /// Effective worker count for a request: `requested` if positive, else
 /// HMD_THREADS from the environment, else hardware_concurrency (min 1).
 std::size_t resolve_threads(std::size_t requested = 0);
+
+/// Bounded multi-producer/multi-consumer FIFO queue — the hand-off
+/// primitive of the serving pipeline (src/serve), reusable anywhere a
+/// stage boundary needs backpressure.
+///
+/// Semantics:
+///   * push() blocks while the queue is full — a slow consumer therefore
+///     stalls its producers instead of growing an unbounded backlog
+///     (backpressure). Returns false iff the queue was closed.
+///   * try_push() never blocks: false when full or closed (the caller can
+///     count the would-have-stalled case before falling back to push()).
+///   * pop() blocks while empty; after close() it drains the remaining
+///     items in FIFO order and then returns nullopt — shutdown never
+///     loses accepted work.
+///   * close() is idempotent and wakes every waiter.
+///
+/// FIFO order is per-queue total order: items pushed by one thread are
+/// popped in push order (the serving controller relies on this to keep
+/// per-shard state updates in tick order). All fields are guarded by one
+/// mutex (clang -Wthread-safety checked); condition waits run on the
+/// annotated support::Mutex directly.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    HMD_REQUIRE(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking enqueue; false iff the queue is (or becomes) closed.
+  bool push(T value) {
+    MutexLock lock(mutex_);
+    not_full_.wait(mutex_,
+                   [&]() HMD_REQUIRES(mutex_) {
+                     return closed_ || items_.size() < capacity_;
+                   });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue; false when full or closed (`value` is left
+  /// untouched so the caller can retry with push()).
+  bool try_push(T& value) {
+    MutexLock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; nullopt once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    MutexLock lock(mutex_);
+    not_empty_.wait(mutex_, [&]() HMD_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking dequeue; nullopt when currently empty.
+  std::optional<T> try_pop() {
+    MutexLock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Close the queue: subsequent pushes fail, pops drain then end.
+  void close() {
+    MutexLock lock(mutex_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    MutexLock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    MutexLock lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable Mutex mutex_;
+  std::condition_variable_any not_full_;   ///< producers wait for space
+  std::condition_variable_any not_empty_;  ///< consumers wait for items
+  std::deque<T> items_ HMD_GUARDED_BY(mutex_);
+  const std::size_t capacity_;
+  bool closed_ HMD_GUARDED_BY(mutex_) = false;
+};
 
 class ThreadPool {
  public:

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.h"
@@ -123,6 +126,104 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   });
   for (std::size_t i = 0; i < out.size(); ++i)
     EXPECT_EQ(out[i], i * 100 + 45);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue: the serving layer's backpressure primitive.
+
+TEST(BoundedQueue, FifoOrderSingleThread) {
+  support::BoundedQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacityAndLeavesValueIntact) {
+  support::BoundedQueue<std::vector<int>> q(2);
+  std::vector<int> a{1}, b{2}, c{3, 4, 5};
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));        // full: refused without blocking
+  EXPECT_EQ(c, (std::vector<int>{3, 4, 5}));  // refused value untouched
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.try_push(c));         // a slot freed: accepted
+}
+
+TEST(BoundedQueue, TryPopOnEmptyReturnsNothing) {
+  support::BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_TRUE(q.push(7));
+  const auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItemsThenEnds) {
+  support::BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // producers are refused after close...
+  const auto a = q.pop();   // ...but consumers drain what was queued
+  const auto b = q.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained and closed: end of stream
+  q.close();                          // idempotent
+}
+
+TEST(BoundedQueue, BackpressureBlocksProducerUntilConsumerDrains) {
+  constexpr int kItems = 200;
+  support::BoundedQueue<int> q(3);
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) EXPECT_TRUE(q.push(i));
+    q.close();
+  });
+  std::vector<int> received;
+  while (auto v = q.pop()) {
+    EXPECT_LE(q.size(), q.capacity());  // the bound held while we slept
+    received.push_back(*v);
+  }
+  producer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(BoundedQueue, PopBlocksUntilAnItemArrives) {
+  support::BoundedQueue<int> q(1);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(q.push(42));
+  });
+  const auto v = q.pop();  // must wait for the producer, not spin out
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(BoundedQueue, CloseWakesABlockedConsumer) {
+  support::BoundedQueue<int> q(1);
+  std::optional<int> popped = std::nullopt;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    popped = q.pop();
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_FALSE(popped.has_value());
 }
 
 // ---------------------------------------------------------------------------

@@ -37,6 +37,10 @@
 //        per-event budget; a cell whose evasion rate exceeds R fails, with
 //        the same exit-1 semantics as the capture budgets — 0 disables,
 //        the default),
+//        --max-p99-us N / --max-shed-rate R (serving budgets: a fixed-seed
+//        small fleet is driven through the src/serve pipeline under mild
+//        overload; exceeding the end-to-end p99 latency or the shed-rate
+//        budget is a hard failure — 0 disables each, the default),
 //        --threads N (workers for capture + grid analysis; default
 //        HMD_THREADS env, else hardware_concurrency — verdicts are
 //        identical for any thread count),
@@ -54,6 +58,8 @@
 #include "bench_util.h"
 #include "core/experiment.h"
 #include "hw/hls_codegen.h"
+#include "serve/controller.h"
+#include "serve/fleet.h"
 #include "support/table.h"
 
 namespace {
@@ -67,6 +73,8 @@ struct LintArgs {
   double max_train_ms = 0.0;    ///< 0 = no training-time budget
   double max_predict_us = 0.0;  ///< 0 = no per-sample inference budget
   double max_evasion = 0.0;     ///< 0 = no attack-resilience budget
+  double max_p99_us = 0.0;      ///< 0 = no serving tail-latency budget
+  double max_shed_rate = 0.0;   ///< 0 = no serving shed-rate budget
 };
 
 void print_help() {
@@ -101,6 +109,18 @@ void print_help() {
       "                        exceeds R fails, with the same exit-1\n"
       "                        semantics as the capture budgets\n"
       "                        (0 disables, the default)\n"
+      "  --max-p99-us N        serving tail-latency budget: a fixed-seed\n"
+      "                        128-host fleet runs through the src/serve\n"
+      "                        pipeline under mild overload (admission at\n"
+      "                        90% of offered load, seeded stragglers with\n"
+      "                        hedging); an end-to-end per-batch p99 above\n"
+      "                        N microseconds is a hard failure\n"
+      "                        (0 disables, the default)\n"
+      "  --max-shed-rate R     serving shed budget, same scenario: the\n"
+      "                        fraction of emitted samples rejected by\n"
+      "                        token-bucket admission is deterministic for\n"
+      "                        the fixed seed; exceeding R is a hard\n"
+      "                        failure (0 disables, the default)\n"
       "  --help                this text\n";
 }
 
@@ -128,8 +148,77 @@ LintArgs parse_args(int argc, char** argv) {
       args.max_predict_us = std::strtod(argv[i + 1], nullptr);
     if (std::strcmp(argv[i], "--max-evasion-rate") == 0 && i + 1 < argc)
       args.max_evasion = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-p99-us") == 0 && i + 1 < argc)
+      args.max_p99_us = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-shed-rate") == 0 && i + 1 < argc)
+      args.max_shed_rate = std::strtod(argv[i + 1], nullptr);
   }
   return args;
+}
+
+/// Serving budgets: drive a small fixed-seed fleet through the src/serve
+/// pipeline under mild overload and check the tail latency and shed rate.
+/// The shed rate is deterministic (virtual-tick admission); the p99 is
+/// measured, like the --max-train-ms/--max-predict-us budgets — but over
+/// budget here is a hard failure: a serving layer that sheds or lags past
+/// its contract is as undeployable as an evadable model. Returns the
+/// number of violations.
+std::size_t lint_serving(const LintArgs& args) {
+  using namespace hmd;
+  if (args.max_p99_us <= 0.0 && args.max_shed_rate <= 0.0) return 0;
+
+  serve::FleetConfig fc;
+  fc.hosts = 128;
+  fc.ticks = 80;
+  fc.seed = args.config.corpus.seed;
+  fc.train_variants = 2;
+  fc.train_intervals = 10;
+  fc.threads = args.config.threads;
+  const serve::FleetSetup fleet = serve::make_fleet(fc);
+
+  serve::ServeConfig sc;
+  sc.threads = args.config.threads;
+  sc.record_verdicts = false;
+  // Mild overload: steady-state admission at 90% of the offered load
+  // (bursting to one full tick), plus seeded stragglers with hedging —
+  // the scenario the budgets are meant to police.
+  sc.admit_per_tick = (fc.hosts * 9) / 10;
+  sc.admit_burst = fc.hosts;
+  sc.straggler_rate = 0.05;
+  sc.straggler_reps = 2;
+  const serve::ServeReport r = serve::run_fleet(fleet, sc);
+
+  const double p99 = r.timing.e2e.p99();
+  const double shed_rate =
+      r.counters.emitted > 0
+          ? static_cast<double>(r.counters.shed) /
+                static_cast<double>(r.counters.emitted)
+          : 0.0;
+  std::fprintf(stderr,
+               "[hmd_lint] serving: %llu hosts x %llu ticks, e2e p99 %.1f "
+               "us, shed %.2f%% (%llu/%llu emitted)\n",
+               static_cast<unsigned long long>(r.counters.hosts),
+               static_cast<unsigned long long>(r.counters.ticks), p99,
+               100.0 * shed_rate,
+               static_cast<unsigned long long>(r.counters.shed),
+               static_cast<unsigned long long>(r.counters.emitted));
+
+  std::size_t violations = 0;
+  if (args.max_p99_us > 0.0 && p99 > args.max_p99_us) {
+    std::fprintf(stderr,
+                 "[hmd_lint] serving budget exceeded: e2e p99 %.1f us > "
+                 "%.1f us\n",
+                 p99, args.max_p99_us);
+    ++violations;
+  }
+  if (args.max_shed_rate > 0.0 && shed_rate > args.max_shed_rate) {
+    std::fprintf(stderr,
+                 "[hmd_lint] serving budget exceeded: shed rate %.2f%% > "
+                 "%.2f%%\n",
+                 100.0 * shed_rate, 100.0 * args.max_shed_rate);
+    ++violations;
+  }
+  return violations;
 }
 
 /// Capture-health lint: the dataset every model verdict rests on must be
@@ -297,6 +386,7 @@ int main(int argc, char** argv) {
 
   const std::size_t capture_violations =
       lint_capture(ctx.capture.report, args);
+  const std::size_t serving_violations = lint_serving(args);
 
   // The full 96-model grid, analysed concurrently (one task per cell);
   // verdicts come back in grid order, so the report is deterministic.
@@ -364,10 +454,12 @@ int main(int argc, char** argv) {
             << "% vs " << TextTable::num(100.0 * args.max_impute, 2)
             << "% budget)"
             << (capture_violations == 0 ? "" : " — OVER BUDGET") << "\n";
-  const bool ok = failed_cells == 0 && capture_violations == 0;
+  const bool ok = failed_cells == 0 && capture_violations == 0 &&
+                  serving_violations == 0;
   std::cout << (ok ? "OK" : "FAILED") << ": "
             << total_cells - failed_cells << "/" << total_cells
             << " grid cells clean, " << capture_violations
-            << " capture budget violations\n";
+            << " capture budget violations, " << serving_violations
+            << " serving budget violations\n";
   return ok ? 0 : 1;
 }
