@@ -39,6 +39,13 @@
 #      1-thread and 4-thread verdict streams byte-identical, per-run
 #      counters JSON-identical, and batched scoring at least as fast as
 #      unbatched.
+#   9. Drift leg (6): bench/drift --quick runs the drift-aware refresh
+#      pipeline under ASan/UBSan (harvest, background retrain, hot-swap)
+#      with the detection/recovery assertions checked from the JSON; the
+#      Release tree then proves the hot-swap determinism contract (1- and
+#      4-thread adaptive verdict streams byte-identical) and that a
+#      checkpointed retrain killed mid-capture resumes to a byte-identical
+#      verdict stream.
 #
 # Each build uses its own tree; pass -j via CMAKE_BUILD_PARALLEL_LEVEL
 # or JOBS (default: all cores).
@@ -57,8 +64,11 @@ cmake --build build-ci-release -j "${JOBS}"
 echo "=== [1b] hmd_lint: analyzers over the experiment grid (quick) ==="
 # Serving budgets ride along: a small overloaded fleet must keep its e2e
 # p99 and shed rate under (generous) limits, or the lint exits non-zero.
+# Drift budgets likewise: a fleet with a mid-run novel-family campaign must
+# trigger, refresh, and recover within the lag/recovery budgets.
 ./build-ci-release/tools/hmd_lint --quick --max-train-ms 5000 \
-  --max-p99-us 500000 --max-shed-rate 0.5
+  --max-p99-us 500000 --max-shed-rate 0.5 \
+  --max-drift-lag 64 --min-refresh-recovery 0.5
 
 echo "=== [1c] micro_ml: training benchmark, legacy vs columnar (quick) ==="
 (cd build-ci-release && ./bench/micro_ml --quick --reps 1)
@@ -326,5 +336,62 @@ else
   grep -q '"verdicts_match": true' build-ci-release/serve-t1.json
   echo "serve JSON OK (grep fallback)"
 fi
+
+echo "=== [6] drift refresh: ASan quick run + hot-swap determinism + resume ==="
+# The drift-aware refresh path (score-window bookkeeping, harvest,
+# background retrain thread, epoch'd hot-swap) under ASan/UBSan on a small
+# fleet with a mid-run campaign; the run itself exits non-zero unless the
+# detector fired and the swap landed.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ./build-ci-asan/bench/drift --quick --out build-ci-asan/BENCH_drift.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("build-ci-asan/BENCH_drift.json") as f:
+    report = json.load(f)
+assert report["bench"] == "drift", report
+det, ref, acc = report["detection"], report["refresh"], report["accuracy"]
+assert det["triggers"] > 0, "drift detector never fired"
+assert ref["swapped"] is True, "model hot-swap never happened"
+assert 0 < det["detection_lag_ticks"] <= 64, det
+assert ref["window_rows"] > 0, ref
+assert acc["recovery_fraction"] >= 0.5, acc
+assert acc["post_refresh"] > acc["frozen_tail"], acc
+print(f"BENCH_drift.json OK: lag {det['detection_lag_ticks']} ticks, "
+      f"recovery {acc['recovery_fraction']:.2f}")
+EOF
+else
+  grep -q '"bench": "drift"' build-ci-asan/BENCH_drift.json
+  grep -q '"swapped": true' build-ci-asan/BENCH_drift.json
+  echo "BENCH_drift.json OK (grep fallback)"
+fi
+# Hot-swap determinism contract (Release tree): the adaptive verdict
+# stream — including every verdict scored by the refreshed model after the
+# swap — must be byte-identical at 1 and 4 worker threads.
+(
+  cd build-ci-release
+  rm -rf drift-ckpt drift-t1.json drift-t4.json drift-verdicts-t1.txt \
+    drift-verdicts-t4.txt drift-verdicts-ckpt.txt drift-verdicts-resumed.txt
+  ./bench/drift --quick --threads 1 --out drift-t1.json \
+    --verdicts drift-verdicts-t1.txt
+  ./bench/drift --quick --threads 4 --out drift-t4.json \
+    --verdicts drift-verdicts-t4.txt
+  diff drift-verdicts-t1.txt drift-verdicts-t4.txt
+  echo "drift OK: 1- and 4-thread adaptive verdict streams byte-identical"
+  # Kill-and-resume through the retrain: a checkpointed run re-captures the
+  # base split under a checkpoint store; "killing" it (deleting one app's
+  # checkpoint) and rerunning must auto-resume to the same retrained model,
+  # i.e. a verdict stream byte-identical to both the first checkpointed run
+  # and the uncheckpointed cached-split run.
+  ./bench/drift --quick --threads 4 --checkpoint-dir drift-ckpt \
+    --out drift-ckpt.json --verdicts drift-verdicts-ckpt.txt
+  rm -f drift-ckpt/app_00000.ckpt
+  ./bench/drift --quick --threads 4 --checkpoint-dir drift-ckpt \
+    --out drift-resumed.json --verdicts drift-verdicts-resumed.txt
+  diff drift-verdicts-ckpt.txt drift-verdicts-resumed.txt
+  diff drift-verdicts-t4.txt drift-verdicts-ckpt.txt
+  echo "drift OK: killed checkpointed retrain resumed byte-identically"
+)
 
 echo "=== CI OK ==="

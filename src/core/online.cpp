@@ -12,6 +12,7 @@ namespace hmd::core {
 Verdict OnlineState::step_score(const OnlineConfig& cfg, double score,
                                 bool degraded, bool suspect) {
   missing_streak_ = 0;  // a real sample refreshes the held state
+  suspect_ = suspect;
   Verdict v;
   v.interval = interval_++;
   v.degraded = degraded;
@@ -43,10 +44,13 @@ Verdict OnlineState::step_missing(const OnlineConfig& cfg, bool degraded) {
   v.interval = interval_++;
   v.degraded = degraded;
   // Hold, don't reset: a dropped sample is not evidence of anything, so
-  // the smoothed score and the alarm keep their last trustworthy values.
+  // the smoothed score, the alarm, and the margin-gate suspicion keep
+  // their last trustworthy values. Dropping `suspect` here would let a
+  // flagged host read as confidently clean after one lost sample.
   v.score = ewma_init_ ? ewma_ : 0.0;
   v.ewma = ewma_init_ ? ewma_ : 0.0;
   v.alarm = alarm_;
+  v.suspect = suspect_;
   v.stale = stale(cfg);
   return v;
 }
@@ -56,6 +60,7 @@ void OnlineState::reset() {
   missing_streak_ = 0;
   ewma_ = 0.0;
   alarm_ = false;
+  suspect_ = false;
   ewma_init_ = false;
 }
 

@@ -64,13 +64,16 @@ struct Verdict {
 /// locking — one per host, owned by whoever serializes that host's time.
 class OnlineState {
  public:
-  /// Advance one interval with a real sample's score. `degraded`/`suspect`
-  /// annotate the verdict; they do not change the automaton.
+  /// Advance one interval with a real sample's score. `degraded` annotates
+  /// the verdict only; `suspect` is annotated AND held, so a later
+  /// step_missing reports the last trustworthy suspicion level.
   Verdict step_score(const OnlineConfig& cfg, double score,
                      bool degraded = false, bool suspect = false);
 
   /// Advance one interval with no sample (dropped read, shed load): hold
-  /// the EWMA and alarm, advance the staleness watchdog.
+  /// the EWMA, alarm, and suspect flag, advance the staleness watchdog.
+  /// Holding `suspect` matters: a host flagged by the margin gate must not
+  /// read as confidently clean just because one sample was dropped.
   Verdict step_missing(const OnlineConfig& cfg, bool degraded = false);
 
   void reset();
@@ -87,6 +90,7 @@ class OnlineState {
   std::size_t missing_streak_ = 0;
   double ewma_ = 0.0;
   bool alarm_ = false;
+  bool suspect_ = false;  ///< last real sample's margin-gate flag, held
   bool ewma_init_ = false;
 };
 

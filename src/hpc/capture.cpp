@@ -408,10 +408,15 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
   // so the merged campaign stays identical to an uninterrupted one.
   std::optional<CheckpointStore> store;
   std::vector<std::optional<AppCheckpoint>> resume(corpus.size());
+  bool resuming = false;
   if (!cfg.checkpoint_dir.empty()) {
     store.emplace(cfg.checkpoint_dir,
                   capture_fingerprint(corpus, events, cfg));
-    if (cfg.resume) {
+    // resume_auto defers the fresh-vs-resume choice to the directory: a
+    // matching manifest resumes, an absent one starts fresh, a mismatched
+    // one throws from can_resume() before any state is touched.
+    resuming = cfg.resume || (cfg.resume_auto && store->can_resume());
+    if (resuming) {
       store->begin_resume();
       for (std::size_t a = 0; a < corpus.size(); ++a) {
         resume[a] = store->load_app(a, available.size());
@@ -424,7 +429,7 @@ Capture capture_corpus(const std::vector<sim::AppProfile>& corpus,
   if (resume_stats != nullptr) {
     *resume_stats = {};
     resume_stats->checkpointing = store.has_value();
-    resume_stats->resumed = cfg.resume;
+    resume_stats->resumed = resuming;
   }
   const CheckpointStore* store_ptr = store ? &*store : nullptr;
 

@@ -90,6 +90,15 @@ struct CaptureConfig {
   /// protocol, faults, machine/PMU, retry parameters) — any mismatch is a
   /// hard CheckpointError, never a silent reuse of stale data.
   bool resume = false;
+  /// Auto-resume: when checkpoint_dir holds a manifest that matches this
+  /// request, resume it; when the directory is empty/absent, start fresh.
+  /// A *mismatched* manifest is still a hard CheckpointError (neither
+  /// resuming it nor overwriting it is safe). This is the mode unattended
+  /// callers want — e.g. the serving layer's drift-triggered retrain,
+  /// which must survive being killed mid-capture and simply re-run:
+  /// first run fresh, interrupted re-runs resume, all bit-identical.
+  /// Ignored when checkpoint_dir is empty; `resume` takes precedence.
+  bool resume_auto = false;
 };
 
 /// Observability record of one capture session under checkpointing: how

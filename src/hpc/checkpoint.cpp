@@ -266,6 +266,12 @@ void CheckpointStore::begin_resume() const {
   }
 }
 
+bool CheckpointStore::can_resume() const {
+  if (!fs::exists(manifest_path())) return false;
+  begin_resume();  // validates version + fingerprint; throws on mismatch
+  return true;
+}
+
 void CheckpointStore::save_app(std::size_t index, std::string_view app_name,
                                const std::vector<std::vector<double>>& rows,
                                const AppCaptureReport& report) const {

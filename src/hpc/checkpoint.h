@@ -101,6 +101,16 @@ class CheckpointStore {
   /// fingerprint must match exactly, else CheckpointError.
   void begin_resume() const;
 
+  /// Whether this directory holds a *matching* prior campaign: false when
+  /// no manifest exists (a fresh campaign may begin), true when the
+  /// manifest's version and fingerprint match this store's exactly.
+  /// A manifest that exists but does NOT match throws CheckpointError —
+  /// the directory belongs to a different campaign and neither resuming
+  /// nor silently overwriting it is safe. This is the decision procedure
+  /// behind CaptureConfig::resume_auto (resume if possible, else fresh),
+  /// which is what lets a repeated retrain reuse one checkpoint directory.
+  bool can_resume() const;
+
   /// Load application `index` if its state file exists. Returns nullopt
   /// when the file is absent (the app was never completed); throws
   /// CheckpointError when the file exists but is corrupt, truncated, from

@@ -1,6 +1,7 @@
 #include "serve/controller.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <map>
@@ -21,6 +22,7 @@ namespace hmd::serve {
 namespace {
 
 constexpr std::uint64_t kStragglerSalt = 0x57A661E2B0A7ED15ULL;
+constexpr std::uint64_t kHarvestSalt = 0xB3A9D17E4C08F562ULL;
 
 double now_us() {
   return std::chrono::duration<double, std::micro>(
@@ -40,6 +42,18 @@ bool straggles(std::uint64_t seed, std::uint32_t tick, std::uint32_t shard,
   return static_cast<double>(v >> 11) * 0x1.0p-53 < rate;
 }
 
+/// Deterministic per-(host, tick) harvest-sampling decision: whether an
+/// admitted window row is kept as retrain input. A pure hash, independent
+/// of the drop/scale/straggler streams, so harvesting perturbs nothing.
+bool harvest_keep(std::uint64_t seed, std::uint32_t host, std::uint32_t tick,
+                  double keep_prob) {
+  if (keep_prob >= 1.0) return true;
+  const std::uint64_t v =
+      mix64(mix64(seed ^ kHarvestSalt) ^
+            ((static_cast<std::uint64_t>(host) << 32) | tick));
+  return static_cast<double>(v >> 11) * 0x1.0p-53 < keep_prob;
+}
+
 /// One unit of work: a (tick, shard) batch, or its hedge duplicate.
 struct Task {
   std::uint32_t tick = 0;
@@ -47,6 +61,12 @@ struct Task {
   bool is_hedge = false;  ///< score-only duplicate for the hedge store
   bool hedged = false;    ///< a hedge duplicate was launched for this batch
   std::uint32_t straggler_reps = 0;  ///< injected extra re-scores
+  /// Inference engine of the model epoch current at DISPATCH time. Bound
+  /// by the controller, on the virtual tick clock — a late-executing task
+  /// still scores with the epoch its tick belongs to, which is what keeps
+  /// verdict streams bit-identical across worker counts through a
+  /// hot-swap. Points into run_fleet-owned storage that outlives workers.
+  const ml::InferenceBackend* backend = nullptr;
   /// Row-major features of the *scored* hosts of the shard, in shard host
   /// order. Shared so a hedge duplicate needs no copy.
   std::shared_ptr<const std::vector<double>> rows;
@@ -186,20 +206,40 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
     }
   });
 
-  // Workers: score whole batches, step the owned shards' automata.
-  const auto score_batch = [&](const std::vector<double>& rows,
+  // Drift machinery (serve/drift.h). Windows are written by each shard's
+  // owning worker and read by the controller only at pipeline-drain
+  // barriers; `completed` (vs the controller's dispatched count) is the
+  // barrier condition and the happens-before edge for those reads.
+  const bool drift_on = cfg.drift.enabled;
+  std::vector<ShardScoreWindow> windows;
+  std::optional<DriftDetector> detector;
+  if (drift_on) {
+    HMD_REQUIRE(!cfg.refresh.enabled ||
+                cfg.refresh.refresh_lag_ticks > cfg.refresh.harvest_ticks);
+    windows.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s)
+      windows.emplace_back(cfg.drift.tail_q);
+    detector.emplace(cfg.drift, num_shards);
+  }
+  std::atomic<std::uint64_t> completed{0};
+
+  // Workers: score whole batches, step the owned shards' automata. The
+  // engine comes from the task (the model epoch bound at dispatch), never
+  // from shared mutable state.
+  const auto score_batch = [&](const ml::InferenceBackend& backend,
+                               const std::vector<double>& rows,
                                std::vector<double>& out) {
     const std::size_t n = rows.size() / nf;
     out.assign(n, 0.0);
     if (n == 0) return;
     if (cfg.batched) {
-      fleet.backend->predict_proba_batch(rows, nf, out);
+      backend.predict_proba_batch(rows, nf, out);
     } else {
       // A/B baseline: the identical engine, one batch-of-one call per row
       // — the per-interval scalar path every OnlineDetector runs today.
       const std::span<const double> x(rows);
       for (std::size_t i = 0; i < n; ++i)
-        out[i] = fleet.backend->predict_proba(x.subspan(i * nf, nf));
+        out[i] = backend.predict_proba(x.subspan(i * nf, nf));
     }
   };
 
@@ -213,14 +253,14 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
         Task& task = *t;
         if (task.is_hedge) {
           std::vector<double> dup;
-          score_batch(*task.rows, dup);
+          score_batch(*task.backend, *task.rows, dup);
           hedges.put(task.tick, task.shard, std::move(dup));
           continue;
         }
         // Straggler injection: re-score and discard. Burns deterministic
         // extra work in the owner so the hedge has something to win.
         for (std::uint32_t rep = 0; rep < task.straggler_reps; ++rep)
-          score_batch(*task.rows, waste);
+          score_batch(*task.backend, *task.rows, waste);
         bool hedge_win = false;
         if (task.hedged) {
           if (auto dup = hedges.take(task.tick, task.shard)) {
@@ -228,7 +268,7 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
             hedge_win = true;
           }
         }
-        if (!hedge_win) score_batch(*task.rows, scores);
+        if (!hedge_win) score_batch(*task.backend, *task.rows, scores);
         const double scored_us = now_us();
 
         Chunk c;
@@ -241,10 +281,17 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
         std::size_t k = 0;  // cursor into the batch's scored rows
         for (std::size_t i = 0; i < task.outcomes.size(); ++i) {
           const bool was = st[i].alarmed();
-          const core::Verdict v =
-              task.outcomes[i] == SampleOutcome::kScored
-                  ? st[i].step_score(cfg.online, scores[k++])
-                  : st[i].step_missing(cfg.online);
+          core::Verdict v;
+          if (task.outcomes[i] == SampleOutcome::kScored) {
+            const double sc = scores[k++];
+            // Shard windows fill in FIFO tick order by the single owning
+            // worker — the deterministic observation sequence the drift
+            // detector's purity contract rests on.
+            if (drift_on) windows[task.shard].observe(sc);
+            v = st[i].step_score(cfg.online, sc);
+          } else {
+            v = st[i].step_missing(cfg.online);
+          }
           if (!was && st[i].alarmed()) {
             ++c.alarms;
             ever[i] = 1;
@@ -260,6 +307,12 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
         c.step_us = done_us - scored_us;
         c.e2e_us = done_us - task.created_us;
         result_q.push(std::move(c));
+        if (drift_on) {
+          // Release: publishes this task's window writes to the
+          // controller's barrier (acquire) read.
+          completed.fetch_add(1, std::memory_order_release);
+          completed.notify_all();
+        }
       }
     });
   }
@@ -278,9 +331,65 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
   std::uint64_t straggler_batches = 0;
   std::uint64_t hedges_launched = 0;
   std::uint64_t stalls = 0;
+  std::uint64_t dispatched = 0;  ///< non-hedge tasks, barrier denominator
   LatencyStats gen_stats;
 
+  // Model-epoch state. Epoch 0 serves with the fleet's backend; a single
+  // drift-triggered refresh installs epoch 1 at a fixed virtual tick. The
+  // current pointer is bound into every Task at dispatch, so the swap
+  // needs no barrier: in-flight epoch-0 tasks keep their epoch-0 engine.
+  const ml::InferenceBackend* current_backend = fleet.backend.get();
+  std::shared_ptr<const ml::Classifier> swapped_model;
+  std::unique_ptr<ml::InferenceBackend> swapped_backend;
+  std::uint64_t current_epoch = 0;
+  std::uint64_t model_swaps = 0;
+  std::uint64_t model_swap_tick = 0;
+
+  // Pipeline-drain barrier: every dispatched batch stepped and its shard
+  // window published. Only used at drift checks.
+  const auto drain_pipeline = [&] {
+    std::uint64_t done = completed.load(std::memory_order_acquire);
+    while (done != dispatched) {
+      completed.wait(done, std::memory_order_acquire);
+      done = completed.load(std::memory_order_acquire);
+    }
+  };
+
+  // Refresh state machine: trigger -> harvest window rows (controller
+  // side, at assembly) -> background retrain -> hot-swap at swap_tick.
+  bool trigger_seen = false;
+  bool harvesting = false;
+  std::uint32_t harvest_from = 0, harvest_until = 0;
+  double harvest_keep_prob = 1.0;
+  std::vector<double> harvest_rows;
+  std::vector<int> harvest_labels;
+  bool swap_scheduled = false;
+  std::uint32_t swap_tick = 0;
+  struct RetrainShared {
+    RetrainOutcome out;
+    double ms = 0.0;
+  };
+  std::unique_ptr<RetrainShared> retrain_shared;
+  std::thread retrain_thread;
+  double barrier_us = 0.0;
+
   for (std::uint32_t tick = 0; tick < ticks; ++tick) {
+    // Hot-swap at the scheduled virtual tick: every batch from this tick
+    // on scores with the refreshed model. The join is the only place the
+    // controller can block on the retrain — measured domain only (the
+    // swap tick itself was fixed at trigger time).
+    if (swap_scheduled && tick == swap_tick) {
+      swap_scheduled = false;
+      const double w0 = now_us();
+      retrain_thread.join();
+      timing.swap_wait_ms = (now_us() - w0) / 1000.0;
+      swapped_model = retrain_shared->out.model;
+      swapped_backend = ml::make_active_backend(*swapped_model);
+      current_backend = swapped_backend.get();
+      current_epoch = 1;
+      model_swaps = 1;
+      model_swap_tick = tick;
+    }
     if (bucket && tick > 0) bucket->refill();  // the bucket starts full
     for (std::uint32_t s = 0; s < num_shards; ++s) {
       const double t0 = now_us();
@@ -305,11 +414,24 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
         const std::size_t at = rows->size();
         rows->resize(at + nf);
         gen_features(fleet, h, tick, std::span<double>(*rows).subspan(at, nf));
+        // Harvest (post-trigger): a deterministic hash-sample of admitted
+        // windows becomes retrain input, labelled by ground truth — the
+        // analyst-triage model (drift.h). Rows are copied here, at
+        // assembly, so the harvest never touches worker-owned data.
+        if (harvesting && tick >= harvest_from && tick < harvest_until &&
+            harvest_labels.size() < cfg.refresh.max_window_rows &&
+            harvest_keep(fleet.cfg.seed, h, tick, harvest_keep_prob)) {
+          const std::span<const double> row(*rows);
+          harvest_rows.insert(harvest_rows.end(), row.begin() + at,
+                              row.begin() + at + nf);
+          harvest_labels.push_back(host_infected(fleet, h, tick) ? 1 : 0);
+        }
       }
 
       Task task;
       task.tick = tick;
       task.shard = s;
+      task.backend = current_backend;
       task.rows = rows;
       task.outcomes = std::move(outcomes);
       task.created_us = t0;
@@ -328,6 +450,7 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
           hedge.tick = tick;
           hedge.shard = s;
           hedge.is_hedge = true;
+          hedge.backend = current_backend;
           hedge.rows = rows;
           hedge.enqueue_us = now_us();
           const std::size_t hw = (s + 1) % workers;
@@ -339,11 +462,65 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
       }
       gen_stats.add(now_us() - t0);
       task.enqueue_us = now_us();
+      ++dispatched;  // hedge duplicates don't count toward the barrier
       const std::size_t w = s % workers;
       if (!task_q[w]->try_push(task)) {
         ++stalls;  // backpressure: a full queue stalls the controller
         task_q[w]->push(std::move(task));
       }
+    }
+
+    if (drift_on && (tick + 1) % cfg.drift.check_interval == 0) {
+      // Drift check: drain the pipeline (the acquire on `completed` makes
+      // every worker's window writes visible), evaluate, reset windows for
+      // the next interval. The barrier cost is measured-domain; the check
+      // verdict is a pure function of the score stream.
+      const double b0 = now_us();
+      drain_pipeline();
+      barrier_us += now_us() - b0;
+      const bool fired =
+          detector->check(std::span<const ShardScoreWindow>(windows), tick);
+      for (ShardScoreWindow& w : windows) w.reset();
+      if (fired && !trigger_seen) {
+        trigger_seen = true;
+        if (cfg.refresh.enabled) {
+          // Fix the whole refresh timeline now, on the tick clock: harvest
+          // the next harvest_ticks ticks, swap at trigger + lag. The keep
+          // probability targets max_window_rows with 25% headroom (the
+          // row-count cap above is the hard stop); it depends only on
+          // fleet geometry, so it is deterministic too.
+          harvesting = true;
+          harvest_from = tick + 1;
+          harvest_until = tick + 1 + cfg.refresh.harvest_ticks;
+          const double expected =
+              static_cast<double>(hosts) *
+              static_cast<double>(cfg.refresh.harvest_ticks);
+          harvest_keep_prob = std::min(
+              1.0,
+              expected > 0.0
+                  ? static_cast<double>(cfg.refresh.max_window_rows) * 1.25 /
+                        expected
+                  : 1.0);
+          swap_scheduled = true;
+          swap_tick = tick + cfg.refresh.refresh_lag_ticks;
+        }
+      }
+    }
+
+    if (harvesting && tick + 1 == harvest_until) {
+      // Harvest complete: kick the retrain off on a background worker. It
+      // owns moved copies of the harvest; the controller only rejoins it
+      // at the swap tick (or at end of run if the swap lands past it).
+      harvesting = false;
+      retrain_shared = std::make_unique<RetrainShared>();
+      retrain_thread = std::thread(
+          [&fleet, &refresh = cfg.refresh, shared = retrain_shared.get(),
+           rows = std::move(harvest_rows),
+           labels = std::move(harvest_labels)] {
+            const double r0 = now_us();
+            shared->out = retrain_model(fleet, rows, labels, refresh);
+            shared->ms = (now_us() - r0) / 1000.0;
+          });
     }
   }
 
@@ -351,6 +528,10 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
   for (std::thread& t : pool) t.join();
   result_q.close();
   collector.join();
+  // A retrain whose swap tick landed past the end of the run (or was
+  // launched on the final ticks) still has to be joined; its model is
+  // simply never installed.
+  if (retrain_thread.joinable()) retrain_thread.join();
   const double t_end = now_us();
 
   // The stream is assembled in completion order (worker- and
@@ -372,8 +553,23 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
   counters.straggler_batches = straggler_batches;
   counters.hedges_launched = hedges_launched;
   counters.malware_hosts = fleet.malware_hosts;
+  counters.campaign_hosts = fleet.campaign_hosts;
   for (const auto& flags : ever_alarmed)
     for (std::uint8_t f : flags) counters.alarmed_hosts += f;
+  if (drift_on) {
+    counters.drift_checks = detector->checks();
+    counters.drift_triggers = detector->triggers();
+    counters.drift_trigger_tick = detector->trigger_tick();
+    counters.drift_tripped_shards = detector->tripped_shards();
+  }
+  counters.model_swaps = model_swaps;
+  counters.model_swap_tick = model_swap_tick;
+  if (retrain_shared) {
+    counters.retrain_base_rows = retrain_shared->out.base_rows;
+    counters.retrain_window_rows = retrain_shared->out.window_rows;
+    timing.retrain_ms = retrain_shared->ms;
+  }
+  counters.final_model_epoch = current_epoch;
   counters.verdict_hash = verdict_stream_hash(verdicts);
 
   timing.gen = gen_stats;
@@ -384,9 +580,24 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg) {
           : 0.0;
   timing.hedge_wasted = hedges_launched - timing.hedge_wins;
   timing.backpressure_stalls = stalls;
+  timing.barrier_ms = barrier_us / 1000.0;
 
   if (cfg.record_verdicts) report.verdicts = std::move(verdicts);
   return report;
+}
+
+double verdict_window_accuracy(const FleetSetup& fleet,
+                               const std::vector<ServeVerdict>& verdicts,
+                               std::uint32_t begin_tick,
+                               std::uint32_t end_tick) {
+  std::uint64_t n = 0;
+  std::uint64_t correct = 0;
+  for (const ServeVerdict& v : verdicts) {
+    if (v.tick < begin_tick || v.tick >= end_tick) continue;
+    ++n;
+    if (v.alarm == host_infected(fleet, v.host, v.tick)) ++correct;
+  }
+  return n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
 }
 
 }  // namespace hmd::serve

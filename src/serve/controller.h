@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/online.h"
+#include "serve/drift.h"
 #include "serve/fleet.h"
 #include "serve/quantile.h"
 
@@ -84,6 +85,15 @@ struct ServeConfig {
   /// The verdict hash is computed either way.
   bool record_verdicts = true;
   core::OnlineConfig online{};
+  /// Concept-drift detection over the score stream (serve/drift.h).
+  /// Disabled by default, which leaves the pipeline byte-identical to the
+  /// pre-drift build. When enabled, every check_interval ticks the
+  /// controller drains the pipeline (a barrier) and evaluates the
+  /// detector; all of it stays in the deterministic domain.
+  DriftDetectorConfig drift{};
+  /// What to do when the drift trigger fires: harvest flagged windows,
+  /// retrain on a background worker, hot-swap at a fixed virtual tick.
+  RefreshConfig refresh{};
 };
 
 /// How one (host, tick) sample left the pipeline.
@@ -124,6 +134,19 @@ struct ServeCounters {
   std::uint64_t alarms_raised = 0;   ///< false->true alarm transitions
   std::uint64_t alarmed_hosts = 0;   ///< hosts whose alarm ever raised
   std::uint64_t malware_hosts = 0;   ///< ground truth from the fleet
+  std::uint64_t campaign_hosts = 0;  ///< drift-wave recruits (ground truth)
+  // Drift / refresh accounting. All deterministic: the trigger is a pure
+  // function of the score stream, the swap tick a pure function of the
+  // trigger, and the retrain row counts a pure function of the harvest.
+  std::uint64_t drift_checks = 0;    ///< barrier evaluations performed
+  std::uint64_t drift_triggers = 0;  ///< checks on which the trigger held
+  std::uint64_t drift_trigger_tick = 0;   ///< first trigger (0 = none)
+  std::uint64_t drift_tripped_shards = 0; ///< shards tripped at 1st trigger
+  std::uint64_t model_swaps = 0;          ///< hot-swaps performed (0 or 1)
+  std::uint64_t model_swap_tick = 0;      ///< tick of the swap (0 = none)
+  std::uint64_t retrain_base_rows = 0;    ///< base split rows in the refit
+  std::uint64_t retrain_window_rows = 0;  ///< harvested rows in the refit
+  std::uint64_t final_model_epoch = 0;    ///< epoch serving the last tick
   std::uint64_t verdict_hash = 0;    ///< FNV-1a over the sorted stream
 };
 
@@ -141,6 +164,9 @@ struct ServeTiming {
   std::uint64_t hedge_wins = 0;    ///< hedge result arrived first
   std::uint64_t hedge_wasted = 0;  ///< hedges_launched - hedge_wins
   std::uint64_t backpressure_stalls = 0;  ///< controller blocked on a queue
+  double retrain_ms = 0.0;    ///< background retrain wall time
+  double swap_wait_ms = 0.0;  ///< controller blocked at the swap tick
+  double barrier_ms = 0.0;    ///< total pipeline-drain wait at drift checks
 };
 
 struct ServeReport {
@@ -158,5 +184,14 @@ ServeReport run_fleet(const FleetSetup& fleet, const ServeConfig& cfg);
 /// FNV-1a 64 over the canonical byte serialisation of a (tick, host)-sorted
 /// verdict stream — the cross-thread-count identity witness.
 std::uint64_t verdict_stream_hash(const std::vector<ServeVerdict>& verdicts);
+
+/// Fleet accuracy over the tick window [begin_tick, end_tick): the
+/// fraction of verdicts whose alarm state matches ground truth
+/// (host_infected) at that tick. The drift bench's pre-onset /
+/// post-onset / post-refresh phase metric. Returns 0 on an empty window.
+double verdict_window_accuracy(const FleetSetup& fleet,
+                               const std::vector<ServeVerdict>& verdicts,
+                               std::uint32_t begin_tick,
+                               std::uint32_t end_tick);
 
 }  // namespace hmd::serve

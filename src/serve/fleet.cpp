@@ -1,5 +1,6 @@
 #include "serve/fleet.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -20,6 +21,7 @@ namespace {
 constexpr std::uint64_t kHostSalt = 0x9D7A11F0C3B52E64ULL;
 constexpr std::uint64_t kDropSalt = 0x5EED0FDA7ADE0D11ULL;
 constexpr std::uint64_t kScaleSalt = 0xC0FFEE1234ABCD99ULL;
+constexpr std::uint64_t kCampaignSalt = 0xD81F7A2E50C4B376ULL;
 
 std::uint64_t pack(std::uint32_t host, std::uint32_t tick) {
   return (static_cast<std::uint64_t>(host) << 32) | tick;
@@ -33,6 +35,19 @@ FleetSetup make_fleet(const FleetConfig& cfg) {
   HMD_REQUIRE(cfg.bank_intervals >= 1);
   HMD_REQUIRE(cfg.malware_fraction >= 0.0 && cfg.malware_fraction <= 1.0);
   HMD_REQUIRE(cfg.drop_rate >= 0.0 && cfg.drop_rate < 1.0);
+  const FleetDriftConfig& drift = cfg.drift;
+  if (drift.enabled) {
+    HMD_REQUIRE(drift.novel_templates >= 1 &&
+                drift.novel_templates < sim::malware_template_count());
+    HMD_REQUIRE(drift.campaign_fraction >= 0.0 &&
+                drift.campaign_fraction <= 1.0);
+    HMD_REQUIRE(drift.benign_shift >= 0.0);
+  }
+  // Templates the deployed model trains on; the held-out tail is the drift
+  // scenario's novel families, reachable only through the bank.
+  const std::size_t trained_malware_templates =
+      drift.enabled ? sim::malware_template_count() - drift.novel_templates
+                    : sim::malware_template_count();
 
   FleetSetup fleet;
   fleet.cfg = cfg;
@@ -46,6 +61,10 @@ FleetSetup make_fleet(const FleetConfig& cfg) {
   exp.corpus.benign_per_template = cfg.train_variants;
   exp.corpus.malware_per_template = cfg.train_variants;
   exp.corpus.intervals_per_app = cfg.train_intervals;
+  // Drift: the study and both training corpora exclude the novel-family
+  // templates — the model's first contact with them is the campaign wave.
+  if (drift.enabled)
+    exp.corpus.malware_template_limit = trained_malware_templates;
   exp.threads = cfg.threads;
   exp.capture.threads = cfg.threads;
   const core::ExperimentContext ctx = core::prepare_experiment(exp);
@@ -57,9 +76,21 @@ FleetSetup make_fleet(const FleetConfig& cfg) {
   sim::CorpusConfig deploy = exp.corpus;
   deploy.benign_per_template = cfg.train_variants + 2;
   deploy.malware_per_template = cfg.train_variants + 2;
-  fleet.model = core::train_deployment_model(
-      sim::build_corpus(deploy), fleet.events, ml::ClassifierKind::kJRip,
-      ml::EnsembleKind::kBagging, exp.capture, /*seed=*/7);
+  // Capture the deployment-protocol training split here (instead of inside
+  // train_deployment_model) so the split itself can be cached on the setup:
+  // a drift-triggered retrain augments exactly this data, or — with a
+  // checkpoint directory — re-captures this same recipe resumably.
+  const hpc::Capture deploy_capture = hpc::capture_corpus(
+      sim::build_corpus(deploy), fleet.events, exp.capture);
+  fleet.base_train = core::to_dataset(deploy_capture);
+  fleet.offline = true;
+  fleet.deploy_corpus = deploy;
+  fleet.capture_cfg = exp.capture;
+  std::shared_ptr<ml::Classifier> model =
+      ml::make_detector(fleet.model_kind, fleet.model_ensemble,
+                        fleet.model_seed);
+  model->train(fleet.base_train);
+  fleet.model = std::move(model);
   fleet.backend = ml::make_active_backend(*fleet.model);
 
   // Template bank: one *unseen* variant per behaviour template (the
@@ -117,6 +148,31 @@ FleetSetup make_fleet(const FleetConfig& cfg) {
                        mix64(hs ^ 4) % (1 + (cfg.ticks * 3) / 5));
     p.phase = static_cast<std::uint32_t>(mix64(hs ^ 5));
     if (p.is_malware) ++fleet.malware_hosts;
+
+    // Campaign recruitment: an extra hash-selected slice of the *benign*
+    // hosts switches to a novel-family app mid-run, with individually
+    // staggered onsets — the wave arrives over campaign_spread ticks, not
+    // as one synchronized step. Pure hash of (seed, host), like the rest.
+    if (drift.enabled && !p.is_malware) {
+      const std::uint64_t cs = mix64(mix64(cfg.seed ^ kCampaignSalt) ^ h);
+      if (static_cast<double>(mix64(cs ^ 1) >> 11) * 0x1.0p-53 <
+          drift.campaign_fraction) {
+        const std::uint32_t onset =
+            drift.campaign_onset > 0 ? drift.campaign_onset : cfg.ticks / 2;
+        p.campaign = true;
+        p.campaign_app =
+            benign_apps +
+            static_cast<std::uint32_t>(trained_malware_templates) +
+            static_cast<std::uint32_t>(mix64(cs ^ 2) %
+                                       drift.novel_templates);
+        p.campaign_onset =
+            onset + static_cast<std::uint32_t>(
+                        mix64(cs ^ 3) %
+                        (1 + static_cast<std::uint64_t>(
+                                 drift.campaign_spread)));
+        ++fleet.campaign_hosts;
+      }
+    }
   }
   return fleet;
 }
@@ -134,8 +190,17 @@ void gen_features(const FleetSetup& fleet, std::uint32_t host,
                   std::uint32_t tick, std::span<double> out) {
   HMD_REQUIRE(out.size() == fleet.num_features);
   const HostProfile& p = fleet.hosts[host];
-  const std::uint32_t app =
-      host_infected(fleet, host, tick) ? p.malware_app : p.benign_app;
+  // Campaign recruits replay their novel-family app once their staggered
+  // onset passes; statically assigned malware hosts keep their app.
+  std::uint32_t app = p.benign_app;
+  bool infected = false;
+  if (p.is_malware && tick >= p.onset_tick) {
+    app = p.malware_app;
+    infected = true;
+  } else if (p.campaign && tick >= p.campaign_onset) {
+    app = p.campaign_app;
+    infected = true;
+  }
   const std::size_t rows = fleet.app_rows[app];
   const std::size_t row = fleet.app_begin[app] + (tick + p.phase) % rows;
   const double* src = fleet.bank.data() + row * fleet.num_features;
@@ -143,6 +208,23 @@ void gen_features(const FleetSetup& fleet, std::uint32_t host,
   if (fleet.cfg.scale_sigma > 0.0) {
     Rng rng(mix64(fleet.cfg.seed ^ kScaleSalt) ^ pack(host, tick));
     scale = rng.lognormal(0.0, fleet.cfg.scale_sigma);
+  }
+  // Benign behaviour shift: clean rows drift upward by a deterministic
+  // ramp after the campaign onset — the environment changed, no malware
+  // involved. Infected rows are left alone so the shift erodes the benign
+  // side of the decision boundary specifically.
+  const FleetDriftConfig& drift = fleet.cfg.drift;
+  if (drift.enabled && !infected && drift.benign_shift > 0.0) {
+    const std::uint32_t onset =
+        drift.campaign_onset > 0 ? drift.campaign_onset : fleet.cfg.ticks / 2;
+    if (tick >= onset) {
+      const double ramp =
+          drift.benign_shift_ramp == 0
+              ? 1.0
+              : std::min(1.0, static_cast<double>(tick - onset) /
+                                  static_cast<double>(drift.benign_shift_ramp));
+      scale *= 1.0 + drift.benign_shift * ramp;
+    }
   }
   for (std::size_t j = 0; j < fleet.num_features; ++j) out[j] = src[j] * scale;
 }

@@ -25,11 +25,49 @@
 #include <vector>
 
 #include "core/online.h"
+#include "hpc/capture.h"
 #include "ml/classifier.h"
+#include "ml/dataset.h"
 #include "ml/infer.h"
 #include "sim/events.h"
+#include "sim/workloads.h"
 
 namespace hmd::serve {
+
+/// The time-evolving half of the fleet workload: everything the paper's
+/// static 70/30 i.i.d. split assumes away. Three shifts, all pure hashes
+/// of (seed, host, tick) so the evolving load stays deterministic:
+///
+///  * Novel malware families: the last `novel_templates` malware behaviour
+///    templates are held OUT of both training corpora (the deployed model
+///    has never seen any variant of them) and appear only through the
+///    mid-campaign wave below.
+///  * A campaign wave: at `campaign_onset`, a hash-selected extra
+///    `campaign_fraction` of previously benign hosts becomes infected with
+///    a novel-family app (staggered over `campaign_spread` ticks) — which
+///    is simultaneously the class-imbalance sweep: the infected share of
+///    the fleet steps from `malware_fraction` to roughly
+///    malware_fraction + campaign_fraction mid-run.
+///  * Benign behaviour shift: benign rows are scaled by an extra
+///    (1 + benign_shift) factor, ramped in linearly over
+///    `benign_shift_ramp` ticks from the onset — the slow environmental
+///    drift (new software rollout, changed load mix) that erodes a frozen
+///    decision boundary without any malware at all.
+struct FleetDriftConfig {
+  bool enabled = false;
+  /// Malware templates held out of training and reserved for the campaign.
+  std::size_t novel_templates = 4;
+  /// First tick of the campaign wave; 0 = ticks / 2.
+  std::uint32_t campaign_onset = 0;
+  /// Extra fraction of (previously benign) hosts the campaign infects.
+  double campaign_fraction = 0.2;
+  /// Ticks over which recruited hosts' individual onsets are staggered.
+  std::uint32_t campaign_spread = 16;
+  /// Relative scale drift applied to benign rows post-onset (0 disables).
+  double benign_shift = 0.25;
+  /// Ticks the benign shift takes to ramp from 0 to benign_shift.
+  std::uint32_t benign_shift_ramp = 32;
+};
 
 struct FleetConfig {
   std::size_t hosts = 2000;
@@ -52,6 +90,9 @@ struct FleetConfig {
   std::uint32_t train_variants = 2;
   std::uint32_t train_intervals = 12;
   std::size_t threads = 0;  ///< capture threads for setup; 0 = auto
+  /// Time-evolving workload (concept drift); disabled by default, which
+  /// leaves every preexisting fleet byte-identical.
+  FleetDriftConfig drift{};
 };
 
 /// One host's static assignment, derived from the fleet seed.
@@ -61,6 +102,11 @@ struct HostProfile {
   std::uint32_t onset_tick = 0;   ///< first infected tick (malware hosts)
   std::uint32_t phase = 0;        ///< per-host shift into the bank rows
   bool is_malware = false;
+  /// Campaign recruitment (FleetDriftConfig): a previously benign host
+  /// that becomes infected with a novel-family app mid-run.
+  bool campaign = false;
+  std::uint32_t campaign_app = 0;    ///< bank index of the novel-family app
+  std::uint32_t campaign_onset = 0;  ///< this host's staggered onset tick
 };
 
 /// The trained model, its template bank, and the per-host assignments —
@@ -80,6 +126,22 @@ struct FleetSetup {
   std::vector<int> app_labels;          ///< 1 = malware template
   std::vector<HostProfile> hosts;
   std::size_t malware_hosts = 0;
+  std::size_t campaign_hosts = 0;  ///< hosts recruited by the drift wave
+
+  /// Retrain support (serve/drift.h). `base_train` is the deployment-
+  /// protocol training split the served model was fitted on, cached so an
+  /// incremental refit can augment it without re-running the offline
+  /// phase. When `offline` is true the remaining fields record the recipe
+  /// (corpus, capture config, model spec) that produced it, so a retrain
+  /// may instead RE-CAPTURE the split under a checkpoint store — resumable
+  /// and, because capture is deterministic, bit-identical to the cache.
+  ml::Dataset base_train;
+  bool offline = false;  ///< base_train came from make_fleet's capture
+  sim::CorpusConfig deploy_corpus{};
+  hpc::CaptureConfig capture_cfg{};
+  ml::ClassifierKind model_kind = ml::ClassifierKind::kJRip;
+  ml::EnsembleKind model_ensemble = ml::EnsembleKind::kBagging;
+  std::uint64_t model_seed = 7;
 };
 
 /// Offline phase: select features, train the deployment model, capture the
@@ -98,11 +160,15 @@ bool sample_dropped(const FleetSetup& fleet, std::uint32_t host,
 void gen_features(const FleetSetup& fleet, std::uint32_t host,
                   std::uint32_t tick, std::span<double> out);
 
-/// Whether host h is running its malware app at tick t.
+/// Whether host h is running a malware app at tick t — its statically
+/// assigned one, or (drift) the novel-family app its campaign recruitment
+/// switched it to. Ground truth for accuracy accounting; the serving
+/// pipeline itself never reads it.
 inline bool host_infected(const FleetSetup& fleet, std::uint32_t host,
                           std::uint32_t tick) {
   const HostProfile& p = fleet.hosts[host];
-  return p.is_malware && tick >= p.onset_tick;
+  if (p.is_malware && tick >= p.onset_tick) return true;
+  return p.campaign && tick >= p.campaign_onset;
 }
 
 }  // namespace hmd::serve

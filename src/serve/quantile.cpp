@@ -66,7 +66,13 @@ void QuantileEstimator::add(double x) {
 double QuantileEstimator::estimate() const {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {
-    // Exact quantile of the sorted prefix (nearest-rank).
+    // Exact quantile of the sorted prefix: nearest-rank on the 0-based
+    // fractional rank q*(count-1), rounding half-ranks UP (rank + 0.5
+    // truncates to the upper neighbour on exact .5). The upper element is
+    // the pinned convention — for a latency tail it is the conservative
+    // choice (never under-reports), and the round-half-up tie-break keeps
+    // the estimate monotone in q. Locked by the SmallSampleConvention
+    // regression tests; changing it silently shifts every --quick bench.
     const double rank = q_ * static_cast<double>(count_ - 1);
     const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
     return height_[std::min(idx, count_ - 1)];

@@ -31,10 +31,23 @@ class QuantileEstimator {
   void add(double x);
 
   /// Current estimate of the q-quantile; 0 before any observation.
+  ///
+  /// Small-sample convention (count < 5, the exact sorted prefix):
+  /// nearest-rank on the 0-based rank q*(count-1), with exact-half ranks
+  /// rounding UP to the upper element — e.g. the median of {a, b} is b.
+  /// This is deliberate and locked by regression tests: the upper element
+  /// never under-reports a latency tail, and round-half-up keeps the
+  /// estimate monotone in q across the bootstrap counts.
   double estimate() const;
 
   std::size_t count() const { return count_; }
   double quantile() const { return q_; }
+
+  /// The five P² marker heights (only the first count() entries are
+  /// meaningful below five samples). Exposed for invariant tests: after
+  /// the markers take over, heights must stay sorted even under
+  /// duplicate-heavy or constant streams.
+  const std::array<double, 5>& marker_heights() const { return height_; }
 
  private:
   double q_;

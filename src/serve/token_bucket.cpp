@@ -11,6 +11,17 @@ TokenBucket::TokenBucket(std::uint64_t capacity,
     : capacity_(capacity), refill_per_tick_(refill_per_tick),
       tokens_(capacity) {
   HMD_REQUIRE(capacity >= 1);
+  // A zero refill starves the pipeline after the first burst with no
+  // diagnostic — reject it here; burst_only() is the explicit opt-in.
+  HMD_REQUIRE_MSG(refill_per_tick >= 1,
+                  "refill_per_tick == 0 sheds all traffic after the burst; "
+                  "use TokenBucket::burst_only() if that is intended");
+}
+
+TokenBucket TokenBucket::burst_only(std::uint64_t capacity) {
+  TokenBucket bucket(capacity, 1);
+  bucket.refill_per_tick_ = 0;
+  return bucket;
 }
 
 void TokenBucket::refill() {

@@ -24,8 +24,20 @@ class TokenBucket {
  public:
   /// A bucket that starts full at `capacity` (the burst allowance) and
   /// gains `refill_per_tick` tokens per refill() call, saturating at
-  /// capacity. capacity >= 1, refill_per_tick >= 0.
+  /// capacity. capacity >= 1, refill_per_tick >= 1: a zero refill silently
+  /// sheds ALL traffic once the initial burst is spent, which in a serving
+  /// config is almost always a misconfiguration (e.g. an integer rate that
+  /// rounded down to 0) — so the constructor rejects it. The deliberate
+  /// drain-then-starve shape is still available via burst_only().
   TokenBucket(std::uint64_t capacity, std::uint64_t refill_per_tick);
+
+  /// Explicit zero-refill mode: a bucket holding exactly one burst of
+  /// `capacity` tokens that never refills. Every sample after the burst is
+  /// shed (and accounted in the shed ledger). This is the documented way to
+  /// ask for starvation — e.g. to test shed bookkeeping or to hard-cap a
+  /// one-shot admission window — so an accidental `refill_per_tick == 0`
+  /// can be rejected loudly by the constructor.
+  static TokenBucket burst_only(std::uint64_t capacity);
 
   /// Advance one virtual tick: add the refill, clamp to capacity.
   void refill();

@@ -704,13 +704,19 @@ AppProfile make_malware(std::size_t template_index, std::uint32_t variant,
 std::vector<AppProfile> build_corpus(const CorpusConfig& cfg) {
   HMD_REQUIRE(cfg.benign_per_template >= 1);
   HMD_REQUIRE(cfg.malware_per_template >= 1);
+  // 0 = all templates; a positive limit holds out the tail of the template
+  // list (the drift scenario's "novel families").
+  const std::size_t malware_templates =
+      cfg.malware_template_limit > 0
+          ? std::min(cfg.malware_template_limit, malware_template_count())
+          : malware_template_count();
   std::vector<AppProfile> corpus;
   corpus.reserve(benign_template_count() * cfg.benign_per_template +
-                 malware_template_count() * cfg.malware_per_template);
+                 malware_templates * cfg.malware_per_template);
   for (std::size_t t = 0; t < benign_template_count(); ++t)
     for (std::uint32_t v = 0; v < cfg.benign_per_template; ++v)
       corpus.push_back(make_benign(t, v, cfg.seed, cfg.intervals_per_app));
-  for (std::size_t t = 0; t < malware_template_count(); ++t)
+  for (std::size_t t = 0; t < malware_templates; ++t)
     for (std::uint32_t v = 0; v < cfg.malware_per_template; ++v)
       corpus.push_back(make_malware(t, v, cfg.seed, cfg.intervals_per_app));
   HMD_REQUIRE(cfg.instruction_scale > 0.0);

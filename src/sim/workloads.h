@@ -34,6 +34,13 @@ struct CorpusConfig {
   /// Global scale on per-interval instruction volume. The default trades
   /// simulation time for per-interval count resolution; 1.0 doubles both.
   double instruction_scale = 0.5;
+  /// Use only the first N malware templates (0 = all). The concept-drift
+  /// scenario trains on a truncated template set and unleashes the held-out
+  /// "novel family" templates mid-campaign — families the deployed model
+  /// has never seen any variant of, the realistic drift a run-time HMD
+  /// faces. Template order is stable, so limit k always holds out exactly
+  /// the templates with index >= k.
+  std::size_t malware_template_limit = 0;
 };
 
 /// Number of behaviour templates on each side.

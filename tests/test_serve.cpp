@@ -78,7 +78,7 @@ TEST(TokenBucket, StartsFullAndGrantsUpToCapacity) {
 }
 
 TEST(TokenBucket, PartialGrantShedsTheRemainder) {
-  serve::TokenBucket bucket(5, 0);
+  serve::TokenBucket bucket = serve::TokenBucket::burst_only(5);
   EXPECT_EQ(bucket.take(8), 5u);  // grants what it holds, sheds 3
   EXPECT_EQ(bucket.take(2), 0u);  // empty: everything shed
   EXPECT_EQ(bucket.offered(), 10u);
@@ -99,12 +99,36 @@ TEST(TokenBucket, RefillSaturatesAtCapacity) {
 }
 
 TEST(TokenBucket, ZeroRefillNeverRecovers) {
-  serve::TokenBucket bucket(3, 0);
+  // burst_only is the explicit opt-in for the drain-then-starve shape.
+  serve::TokenBucket bucket = serve::TokenBucket::burst_only(3);
   EXPECT_EQ(bucket.take(3), 3u);
   bucket.refill();
   EXPECT_EQ(bucket.tokens(), 0u);
   EXPECT_EQ(bucket.take(1), 0u);
   EXPECT_EQ(bucket.shed(), 1u);
+}
+
+TEST(TokenBucket, RejectsAccidentalZeroRefill) {
+  // Regression: TokenBucket(cap, 0) used to be accepted and silently shed
+  // ALL traffic once the initial burst was spent — a rate that integer-
+  // rounded to zero starved the fleet with no diagnostic.
+  EXPECT_THROW(serve::TokenBucket(5, 0), PreconditionError);
+}
+
+TEST(TokenBucket, BurstOnlyShedLedgerStaysHonest) {
+  // Regression companion to RejectsAccidentalZeroRefill: the documented
+  // zero-refill mode must keep offered == granted + shed forever, so the
+  // starvation is visible in the ledger rather than silent.
+  serve::TokenBucket bucket = serve::TokenBucket::burst_only(4);
+  EXPECT_EQ(bucket.take(6), 4u);  // burst grants 4, sheds 2
+  for (int tick = 0; tick < 5; ++tick) {
+    bucket.refill();               // refills nothing by design
+    EXPECT_EQ(bucket.take(3), 0u);
+  }
+  EXPECT_EQ(bucket.offered(), 6u + 5u * 3u);
+  EXPECT_EQ(bucket.granted(), 4u);
+  EXPECT_EQ(bucket.shed(), 2u + 5u * 3u);
+  EXPECT_EQ(bucket.offered(), bucket.granted() + bucket.shed());
 }
 
 TEST(TokenBucket, SteadyStateAdmitsExactlyTheRefillRate) {
@@ -142,6 +166,89 @@ TEST(QuantileEstimator, ExactBelowFiveSamples) {
   tail.add(9.0);
   tail.add(4.0);
   EXPECT_EQ(tail.estimate(), 9.0);  // p99 of 3 samples = max
+}
+
+TEST(QuantileEstimator, SmallSampleConventionLocked) {
+  // Pin the documented small-sample convention: nearest-rank on the
+  // 0-based rank q*(count-1), exact-half ranks rounding UP to the upper
+  // element. Checked for q in {0.5, 0.95, 0.99} at every bootstrap count
+  // 1..4 against the shared sorted-reference helper, on values inserted
+  // out of order so the sorted-prefix bookkeeping is exercised too.
+  const std::vector<double> stream = {7.0, 1.0, 9.0, 4.0};
+  for (const double q : {0.5, 0.95, 0.99}) {
+    serve::QuantileEstimator est(q);
+    std::vector<double> seen;
+    for (std::size_t n = 0; n < stream.size(); ++n) {
+      est.add(stream[n]);
+      seen.push_back(stream[n]);
+      EXPECT_EQ(est.count(), n + 1);
+      EXPECT_EQ(est.estimate(), nearest_rank(seen, q))
+          << "q=" << q << " count=" << n + 1;
+    }
+  }
+  // The half-rank tie-break itself, spelled out: the median of two
+  // elements sits at rank 0.5 and must resolve to the UPPER one.
+  serve::QuantileEstimator median(0.5);
+  median.add(10.0);
+  median.add(2.0);
+  EXPECT_EQ(median.estimate(), 10.0);  // sorted {2,10}: upper element
+  // And at count 3 the p95/p99 rank rounds up to the max.
+  serve::QuantileEstimator p95(0.95);
+  p95.add(3.0);
+  p95.add(8.0);
+  EXPECT_EQ(p95.estimate(), 8.0);  // rank 0.95 -> upper of {3,8}
+}
+
+TEST(QuantileEstimator, ConstantStreamKeepsMarkersDegenerate) {
+  // All-equal samples: every marker height must collapse to the one value
+  // and stay there — the parabolic step must never fabricate spread.
+  serve::QuantileEstimator p99(0.99);
+  for (int i = 0; i < 2000; ++i) {
+    p99.add(42.0);
+    EXPECT_EQ(p99.estimate(), 42.0);
+  }
+  for (const double h : p99.marker_heights()) EXPECT_EQ(h, 42.0);
+}
+
+TEST(QuantileEstimator, DuplicateHeavyStreamPreservesMarkerOrdering) {
+  // Long runs of a single value interleaved with rare outliers create the
+  // zero-width cells (height[k] == height[k+1]) that the marker-adjustment
+  // step must survive: heights must stay sorted and the estimate bounded
+  // by the observed range. The seeded-uniform tests never stress this.
+  Rng rng(1234);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    serve::QuantileEstimator est(q);
+    double lo = 1e300, hi = -1e300;
+    for (int i = 0; i < 5000; ++i) {
+      // ~90% of samples are one of two duplicated plateau values.
+      const double u = rng.uniform();
+      const double x = u < 0.45 ? 5.0 : (u < 0.90 ? 7.0 : rng.uniform() * 100.0);
+      est.add(x);
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      const auto& h = est.marker_heights();
+      if (est.count() >= 5) {
+        for (std::size_t k = 0; k + 1 < h.size(); ++k)
+          ASSERT_LE(h[k], h[k + 1]) << "marker ordering broke at i=" << i;
+        ASSERT_GE(est.estimate(), lo);
+        ASSERT_LE(est.estimate(), hi);
+      }
+    }
+  }
+}
+
+TEST(QuantileEstimator, LongRunOfOneValueThenShiftRecovers) {
+  // A constant prefix pins all five markers to one height; the estimator
+  // must still move once the stream shifts (duplicate cells must not trap
+  // the interior markers forever).
+  serve::QuantileEstimator p50(0.5);
+  for (int i = 0; i < 1000; ++i) p50.add(1.0);
+  EXPECT_EQ(p50.estimate(), 1.0);
+  for (int i = 0; i < 4000; ++i) p50.add(9.0);
+  // 4000 of 5000 samples are 9.0: the median must have left the plateau.
+  EXPECT_GT(p50.estimate(), 1.0);
+  const auto& h = p50.marker_heights();
+  for (std::size_t k = 0; k + 1 < h.size(); ++k) EXPECT_LE(h[k], h[k + 1]);
 }
 
 TEST(QuantileEstimator, TracksUniformStreamAgainstSortedReference) {
@@ -248,6 +355,35 @@ TEST(OnlineState, MissingStepsHoldStateAndTrackStaleness) {
   EXPECT_FALSE(st.stale(cfg));
 }
 
+TEST(OnlineState, MissingStepsHoldTheSuspectFlag) {
+  // Regression: step_missing used to drop `suspect` while holding the
+  // EWMA and alarm, so a margin-gated host read as confidently clean the
+  // moment one sample was lost. Timeline: suspect -> missing -> suspect.
+  core::OnlineConfig cfg;
+  cfg.warmup_intervals = 0;
+  core::OnlineState st;
+  auto v = st.step_score(cfg, 0.7, /*degraded=*/false, /*suspect=*/true);
+  EXPECT_TRUE(v.suspect);
+  v = st.step_missing(cfg);
+  EXPECT_TRUE(v.suspect) << "held verdict must keep the suspicion";
+  EXPECT_DOUBLE_EQ(v.ewma, 0.7);  // EWMA held alongside, as before
+  v = st.step_missing(cfg);
+  EXPECT_TRUE(v.suspect);  // holds across a streak, like alarm_
+  v = st.step_score(cfg, 0.7, false, /*suspect=*/true);
+  EXPECT_TRUE(v.suspect);
+  // A clean real sample clears it — and a following missing step now
+  // holds the cleared state, not a stale suspicion.
+  v = st.step_score(cfg, 0.7, false, /*suspect=*/false);
+  EXPECT_FALSE(v.suspect);
+  v = st.step_missing(cfg);
+  EXPECT_FALSE(v.suspect);
+  // reset() restores the cold-start (not-suspect) state.
+  st.step_score(cfg, 0.7, false, true);
+  st.reset();
+  v = st.step_missing(cfg);
+  EXPECT_FALSE(v.suspect);
+}
+
 TEST(OnlineState, ResetRestoresColdStart) {
   core::OnlineConfig cfg;
   cfg.warmup_intervals = 0;
@@ -351,6 +487,16 @@ void expect_same_counters(const serve::ServeCounters& a,
   EXPECT_EQ(a.alarms_raised, b.alarms_raised);
   EXPECT_EQ(a.alarmed_hosts, b.alarmed_hosts);
   EXPECT_EQ(a.malware_hosts, b.malware_hosts);
+  EXPECT_EQ(a.campaign_hosts, b.campaign_hosts);
+  EXPECT_EQ(a.drift_checks, b.drift_checks);
+  EXPECT_EQ(a.drift_triggers, b.drift_triggers);
+  EXPECT_EQ(a.drift_trigger_tick, b.drift_trigger_tick);
+  EXPECT_EQ(a.drift_tripped_shards, b.drift_tripped_shards);
+  EXPECT_EQ(a.model_swaps, b.model_swaps);
+  EXPECT_EQ(a.model_swap_tick, b.model_swap_tick);
+  EXPECT_EQ(a.retrain_base_rows, b.retrain_base_rows);
+  EXPECT_EQ(a.retrain_window_rows, b.retrain_window_rows);
+  EXPECT_EQ(a.final_model_epoch, b.final_model_epoch);
   EXPECT_EQ(a.verdict_hash, b.verdict_hash);
 }
 

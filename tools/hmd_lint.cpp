@@ -41,6 +41,12 @@
 //        small fleet is driven through the src/serve pipeline under mild
 //        overload; exceeding the end-to-end p99 latency or the shed-rate
 //        budget is a hard failure — 0 disables each, the default),
+//        --max-drift-lag N / --min-refresh-recovery R (drift budgets: a
+//        fixed-seed fleet with a mid-run novel-family campaign runs
+//        through the drift-aware serving pipeline twice, frozen and
+//        adaptive; a detection lag over N ticks, a missing trigger/swap,
+//        or a tail-accuracy recovery fraction below R is a hard failure —
+//        0 disables each, the default),
 //        --threads N (workers for capture + grid analysis; default
 //        HMD_THREADS env, else hardware_concurrency — verdicts are
 //        identical for any thread count),
@@ -75,6 +81,8 @@ struct LintArgs {
   double max_evasion = 0.0;     ///< 0 = no attack-resilience budget
   double max_p99_us = 0.0;      ///< 0 = no serving tail-latency budget
   double max_shed_rate = 0.0;   ///< 0 = no serving shed-rate budget
+  double max_drift_lag = 0.0;   ///< 0 = no drift detection-lag budget
+  double min_recovery = 0.0;    ///< 0 = no refresh-recovery budget
 };
 
 void print_help() {
@@ -121,6 +129,20 @@ void print_help() {
       "                        token-bucket admission is deterministic for\n"
       "                        the fixed seed; exceeding R is a hard\n"
       "                        failure (0 disables, the default)\n"
+      "  --max-drift-lag N     drift detection-lag budget: a fixed-seed\n"
+      "                        fleet with a mid-run novel-family campaign\n"
+      "                        runs through the drift-aware pipeline; the\n"
+      "                        detector must fire within N ticks of the\n"
+      "                        campaign onset, and the refresh must\n"
+      "                        hot-swap before end of run — either miss is\n"
+      "                        a hard failure (0 disables, the default)\n"
+      "  --min-refresh-recovery R  refresh-quality budget, same scenario:\n"
+      "                        the refreshed model's tail accuracy must\n"
+      "                        capture at least fraction R of the frozen\n"
+      "                        model's remaining headroom\n"
+      "                        ((refreshed - frozen) / (1 - frozen));\n"
+      "                        below R is a hard failure (0 disables,\n"
+      "                        the default)\n"
       "  --help                this text\n";
 }
 
@@ -152,8 +174,103 @@ LintArgs parse_args(int argc, char** argv) {
       args.max_p99_us = std::strtod(argv[i + 1], nullptr);
     if (std::strcmp(argv[i], "--max-shed-rate") == 0 && i + 1 < argc)
       args.max_shed_rate = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--max-drift-lag") == 0 && i + 1 < argc)
+      args.max_drift_lag = std::strtod(argv[i + 1], nullptr);
+    if (std::strcmp(argv[i], "--min-refresh-recovery") == 0 && i + 1 < argc)
+      args.min_recovery = std::strtod(argv[i + 1], nullptr);
   }
   return args;
+}
+
+/// Drift budgets: a fixed-seed fleet whose workload shifts mid-run (a
+/// novel-family campaign plus benign scale drift) runs through the
+/// drift-aware serving pipeline twice — frozen (detection only) and
+/// adaptive (harvest + retrain + hot-swap). The detection lag, the swap,
+/// and the recovery fraction are all deterministic-domain quantities, so
+/// these are hard budgets like the capture ones. Returns violations.
+std::size_t lint_drift(const LintArgs& args) {
+  using namespace hmd;
+  if (args.max_drift_lag <= 0.0 && args.min_recovery <= 0.0) return 0;
+
+  serve::FleetConfig fc;
+  fc.hosts = 96;
+  fc.ticks = 220;
+  fc.seed = args.config.corpus.seed;
+  fc.train_variants = 2;
+  fc.train_intervals = 10;
+  fc.threads = args.config.threads;
+  fc.drift.enabled = true;
+  fc.drift.novel_templates = 4;
+  fc.drift.campaign_fraction = 0.25;
+  fc.drift.campaign_spread = 8;
+  fc.drift.benign_shift = 0.2;
+  fc.drift.benign_shift_ramp = 24;
+  const std::uint32_t onset = fc.ticks / 2;
+  const serve::FleetSetup fleet = serve::make_fleet(fc);
+
+  serve::ServeConfig sc;
+  sc.threads = args.config.threads;
+  sc.record_verdicts = true;
+  sc.drift.enabled = true;
+  sc.drift.check_interval = 16;
+  sc.drift.min_shards = 2;
+  sc.refresh.harvest_ticks = 16;
+  sc.refresh.refresh_lag_ticks = 48;
+
+  serve::ServeConfig frozen_cfg = sc;
+  frozen_cfg.refresh.enabled = false;
+  const serve::ServeReport frozen = serve::run_fleet(fleet, frozen_cfg);
+  const serve::ServeReport adaptive = serve::run_fleet(fleet, sc);
+  const serve::ServeCounters& c = adaptive.counters;
+
+  const bool triggered = c.drift_triggers > 0;
+  const bool swapped = c.model_swaps > 0;
+  const std::uint64_t lag =
+      triggered && c.drift_trigger_tick >= onset
+          ? c.drift_trigger_tick - onset + 1
+          : 0;
+  const std::uint32_t tail_from =
+      swapped ? static_cast<std::uint32_t>(c.model_swap_tick) + 8 : fc.ticks;
+  const double refreshed_tail = serve::verdict_window_accuracy(
+      fleet, adaptive.verdicts, tail_from, fc.ticks);
+  const double frozen_tail = serve::verdict_window_accuracy(
+      fleet, frozen.verdicts, tail_from, fc.ticks);
+  const double headroom = 1.0 - frozen_tail;
+  const double recovery =
+      headroom > 1e-9 ? (refreshed_tail - frozen_tail) / headroom : 1.0;
+
+  std::fprintf(stderr,
+               "[hmd_lint] drift: onset tick %u, trigger tick %llu "
+               "(lag %llu), swap tick %llu, tail accuracy frozen %.4f vs "
+               "refreshed %.4f (recovery %.2f)\n",
+               onset, static_cast<unsigned long long>(c.drift_trigger_tick),
+               static_cast<unsigned long long>(lag),
+               static_cast<unsigned long long>(c.model_swap_tick),
+               frozen_tail, refreshed_tail, recovery);
+
+  std::size_t violations = 0;
+  if (!triggered || !swapped) {
+    std::fprintf(stderr,
+                 "[hmd_lint] drift budget exceeded: %s never happened\n",
+                 !triggered ? "the drift trigger" : "the model hot-swap");
+    return violations + 1;  // lag/recovery are meaningless without them
+  }
+  if (args.max_drift_lag > 0.0 &&
+      static_cast<double>(lag) > args.max_drift_lag) {
+    std::fprintf(stderr,
+                 "[hmd_lint] drift budget exceeded: detection lag %llu "
+                 "ticks > %.0f\n",
+                 static_cast<unsigned long long>(lag), args.max_drift_lag);
+    ++violations;
+  }
+  if (args.min_recovery > 0.0 && recovery < args.min_recovery) {
+    std::fprintf(stderr,
+                 "[hmd_lint] drift budget exceeded: refresh recovery %.2f "
+                 "< %.2f\n",
+                 recovery, args.min_recovery);
+    ++violations;
+  }
+  return violations;
 }
 
 /// Serving budgets: drive a small fixed-seed fleet through the src/serve
@@ -387,6 +504,7 @@ int main(int argc, char** argv) {
   const std::size_t capture_violations =
       lint_capture(ctx.capture.report, args);
   const std::size_t serving_violations = lint_serving(args);
+  const std::size_t drift_violations = lint_drift(args);
 
   // The full 96-model grid, analysed concurrently (one task per cell);
   // verdicts come back in grid order, so the report is deterministic.
@@ -455,11 +573,12 @@ int main(int argc, char** argv) {
             << "% budget)"
             << (capture_violations == 0 ? "" : " — OVER BUDGET") << "\n";
   const bool ok = failed_cells == 0 && capture_violations == 0 &&
-                  serving_violations == 0;
+                  serving_violations == 0 && drift_violations == 0;
   std::cout << (ok ? "OK" : "FAILED") << ": "
             << total_cells - failed_cells << "/" << total_cells
             << " grid cells clean, " << capture_violations
             << " capture budget violations, " << serving_violations
-            << " serving budget violations\n";
+            << " serving budget violations, " << drift_violations
+            << " drift budget violations\n";
   return ok ? 0 : 1;
 }
